@@ -1,0 +1,32 @@
+"""Result-row collection shared by the benchmark files."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+TABLES: dict[str, list[dict]] = defaultdict(list)
+COLUMNS: dict[str, list[str]] = {}
+CAPTIONS: dict[str, str] = {}
+
+
+def add_row(table: str, caption: str, columns: list[str], row: dict) -> None:
+    """Record one result row for a named output table."""
+    TABLES[table].append(row)
+    COLUMNS[table] = columns
+    CAPTIONS[table] = caption
+
+
+def format_table(name: str) -> str:
+    columns = COLUMNS[name]
+    rows = TABLES[name]
+    rendered = [[str(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) if rendered else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = [CAPTIONS[name]]
+    lines.append("  ".join(col.ljust(w) for col, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)

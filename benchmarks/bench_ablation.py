@@ -1,0 +1,103 @@
+"""Ablation study: what each design choice of the paper contributes.
+
+Not a paper table — DESIGN.md calls out three load-bearing mechanisms and
+this bench quantifies each by disabling it:
+
+* **Equivalence classes** (Section IV-B, Fig. 2): without transitive
+  merging, mutants of *reordered* join trees survive.
+* **Foreign-key support tuples** (Section V-B): without the extra
+  referenced tuples, nullification constraints conflict with foreign keys
+  and killable groups are misreported as equivalent.
+* **Group-by distinctness**: without it, aggregation masks join
+  differences (two dangling tuples fall into the same group).
+
+Each row reports mutants killed by the full generator vs. the ablated
+one on a query chosen to exercise the mechanism.
+
+Run:  pytest benchmarks/bench_ablation.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GenConfig, XDataGenerator
+from repro.datasets import schema_with_fks
+from repro.mutation import enumerate_mutants
+from repro.schema.ddl import parse_ddl
+from repro.testing import evaluate_suite
+
+from _tables import add_row
+
+# Group-by column without an enumerated domain: value rotation cannot
+# separate the groups, so only the distinctness constraints can.
+_GROUPED_DDL = """
+CREATE TABLE account (id INT PRIMARY KEY, region INT);
+CREATE TABLE payment (id INT PRIMARY KEY, account_id INT REFERENCES account(id));
+"""
+
+CAPTION = "ABLATION: CONTRIBUTION OF EACH DESIGN CHOICE (mutants killed)"
+COLUMNS = ["Mechanism", "Query", "Full", "Ablated", "Lost kills"]
+
+CASES = {
+    "equivalence-classes": {
+        # One 3-member class; reordered trees join teaches with prereq.
+        "sql": (
+            "SELECT * FROM teaches t, course c, prereq p "
+            "WHERE t.course_id = c.course_id AND c.course_id = p.course_id"
+        ),
+        "fks": [],
+        "config": GenConfig(use_equivalence_classes=False),
+    },
+    "fk-support-tuples": {
+        # Nullifying the referencing side needs a spare referenced tuple.
+        "sql": "SELECT * FROM instructor i, teaches t WHERE i.id = t.id",
+        "fks": ["teaches.id"],
+        "config": GenConfig(use_fk_support_slots=False),
+    },
+    "groupby-distinctness": {
+        # Aggregation masks the dangling account without it.
+        "sql": (
+            "SELECT a.region, COUNT(p.id) "
+            "FROM account a, payment p WHERE a.id = p.account_id "
+            "GROUP BY a.region"
+        ),
+        "schema": parse_ddl(_GROUPED_DDL),
+        "config": GenConfig(use_groupby_distinctness=False),
+    },
+}
+
+
+def _killed(schema, sql, config):
+    suite = XDataGenerator(schema, config).generate(sql)
+    space = enumerate_mutants(suite.analyzed)
+    report = evaluate_suite(space, suite.databases, stop_at_first_kill=True)
+    return report
+
+
+@pytest.mark.parametrize("mechanism", list(CASES))
+def test_ablation(benchmark, mechanism):
+    case = CASES[mechanism]
+    schema = case.get("schema") or schema_with_fks(case["fks"])
+
+    def run_ablated():
+        return _killed(schema, case["sql"], case["config"])
+
+    ablated = benchmark.pedantic(run_ablated, rounds=2, iterations=1)
+    full = _killed(schema, case["sql"], GenConfig())
+    assert full.killed >= ablated.killed
+    assert full.killed > ablated.killed, (
+        f"{mechanism}: ablation should lose kills"
+    )
+    add_row(
+        "ablation",
+        CAPTION,
+        COLUMNS,
+        {
+            "Mechanism": mechanism,
+            "Query": case["sql"][:46] + "...",
+            "Full": f"{full.killed} (of {full.total})",
+            "Ablated": f"{ablated.killed} (of {ablated.total})",
+            "Lost kills": full.killed - ablated.killed,
+        },
+    )

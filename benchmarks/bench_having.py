@@ -1,0 +1,74 @@
+"""Constrained aggregation (HAVING) — the paper's named future work,
+implemented here and measured like a Table II extension.
+
+Run:  pytest benchmarks/bench_having.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import XDataGenerator
+from repro.datasets import schema_with_fks
+from repro.mutation import enumerate_mutants
+from repro.testing import classify_survivors, evaluate_suite
+
+from _tables import add_row
+
+CAPTION = "EXTENSION: CONSTRAINED AGGREGATION (HAVING) QUERIES"
+COLUMNS = [
+    "Query", "#Datasets", "#Mutants", "#Killed", "#Missed", "Time (s)",
+]
+
+QUERIES = {
+    "sum-threshold": (
+        [],
+        "SELECT i.dept_name, SUM(i.salary) FROM instructor i "
+        "GROUP BY i.dept_name HAVING SUM(i.salary) > 50",
+    ),
+    "count-filter": (
+        [],
+        "SELECT i.dept_name, COUNT(i.id) FROM instructor i "
+        "GROUP BY i.dept_name HAVING COUNT(i.id) >= 2",
+    ),
+    "join+having": (
+        ["teaches.id"],
+        "SELECT i.dept_name, SUM(i.salary) FROM instructor i, teaches t "
+        "WHERE i.id = t.id GROUP BY i.dept_name HAVING SUM(i.salary) > 50",
+    ),
+    "min-max": (
+        [],
+        "SELECT c.dept_name, MAX(c.credits) FROM course c "
+        "GROUP BY c.dept_name HAVING MAX(c.credits) > 3 AND MIN(c.credits) > 1",
+    ),
+}
+
+
+@pytest.mark.parametrize("label", list(QUERIES))
+def test_having(benchmark, label):
+    fks, sql = QUERIES[label]
+    schema = schema_with_fks(fks)
+
+    def generate():
+        return XDataGenerator(schema).generate(sql)
+
+    suite = benchmark.pedantic(generate, rounds=3, iterations=1)
+    space = enumerate_mutants(suite.analyzed)
+    report = evaluate_suite(space, suite.databases)
+    classification = classify_survivors(space, report.survivors, trials=12)
+    assert classification.missed == [], [
+        str(c.mutant) for c in classification.missed
+    ]
+    add_row(
+        "having",
+        CAPTION,
+        COLUMNS,
+        {
+            "Query": label,
+            "#Datasets": suite.non_original_count(),
+            "#Mutants": report.total,
+            "#Killed": report.killed,
+            "#Missed": len(classification.missed),
+            "Time (s)": f"{benchmark.stats.stats.mean:.3f}",
+        },
+    )

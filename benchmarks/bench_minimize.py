@@ -1,0 +1,56 @@
+"""Suite minimization (the conclusions' "pruning redundant datasets").
+
+Reports, per Table I query at 0 FKs, the generated suite size, the
+minimized size, and that the kill count is preserved — plus the greedy
+set-cover's own cost.
+
+Run:  pytest benchmarks/bench_minimize.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import XDataGenerator
+from repro.datasets import UNIVERSITY_QUERIES, schema_with_fks
+from repro.mutation import enumerate_mutants
+from repro.testing import evaluate_suite, minimize_suite
+
+from _tables import add_row
+
+CAPTION = "EXTENSION: SUITE MINIMIZATION (greedy set cover, no FKs)"
+COLUMNS = [
+    "Query", "#Datasets", "#Minimized", "#Killed (before)", "#Killed (after)",
+    "Minimize time (s)",
+]
+
+NAMES = ["Q2", "Q3", "Q4", "Q11"]
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_minimization(benchmark, name):
+    info = UNIVERSITY_QUERIES[name]
+    schema = schema_with_fks([])
+    suite = XDataGenerator(schema).generate(info["sql"])
+    space = enumerate_mutants(suite.analyzed)
+
+    def run():
+        return minimize_suite(suite, space)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    before = result.report.killed
+    after = evaluate_suite(space, [d.db for d in result.kept]).killed
+    assert after == before
+    add_row(
+        "minimize",
+        CAPTION,
+        COLUMNS,
+        {
+            "Query": name.lstrip("Q"),
+            "#Datasets": len(suite.datasets),
+            "#Minimized": result.kept_count,
+            "#Killed (before)": before,
+            "#Killed (after)": after,
+            "Minimize time (s)": f"{benchmark.stats.stats.mean:.3f}",
+        },
+    )

@@ -1,0 +1,91 @@
+"""Table I — inner-join queries: datasets generated, mutants killed, time
+with and without quantifier unfolding.
+
+Paper reference (Table I): for queries of 1-6 joins over 2-7 relations
+with 0..k foreign keys, the number of datasets generated and mutants
+killed decrease as foreign keys are added, and unfolding quantifiers
+speeds solving up, with the gap growing with join count.
+
+Run:  pytest benchmarks/bench_table1.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GenConfig, XDataGenerator
+from repro.datasets import UNIVERSITY_QUERIES, schema_with_fks
+from repro.mutation import enumerate_mutants
+from repro.testing import evaluate_suite
+
+from _tables import add_row
+
+CAPTION = "TABLE I: RESULTS FOR INNER JOIN QUERIES"
+COLUMNS = [
+    "Query", "#Joins(#Rel)", "#FK", "#Datasets", "#MutantsKilled",
+    "Time w/o unfolding (s)", "Time w/ unfolding (s)",
+]
+
+ROWS = [
+    (name, fks)
+    for name in ["Q1", "Q2", "Q3", "Q4", "Q5", "Q6"]
+    for fks in UNIVERSITY_QUERIES[name]["fk_rows"]
+]
+
+_kill_cache: dict[tuple[str, int], dict] = {}
+_row_store: dict[tuple[str, int], dict] = {}
+
+
+def _kill_stats(name: str, fks: list[str]) -> dict:
+    key = (name, len(fks))
+    if key not in _kill_cache:
+        info = UNIVERSITY_QUERIES[name]
+        schema = schema_with_fks(fks)
+        suite = XDataGenerator(schema).generate(info["sql"])
+        space = enumerate_mutants(suite.analyzed)
+        report = evaluate_suite(
+            space, suite.databases, stop_at_first_kill=True
+        )
+        _kill_cache[key] = {
+            "datasets": suite.non_original_count(),
+            "killed": report.killed,
+            "mutants": report.total,
+        }
+    return _kill_cache[key]
+
+
+@pytest.mark.parametrize(
+    "unfold", [True, False], ids=["with-unfolding", "without-unfolding"]
+)
+@pytest.mark.parametrize(
+    "name,fks", ROWS, ids=[f"{n}-fk{len(f)}" for n, f in ROWS]
+)
+def test_table1(benchmark, name, fks, unfold):
+    info = UNIVERSITY_QUERIES[name]
+    schema = schema_with_fks(fks)
+    config = GenConfig(unfold=unfold)
+
+    def generate():
+        return XDataGenerator(schema, config).generate(info["sql"])
+
+    suite = benchmark.pedantic(generate, rounds=3, iterations=1)
+    stats = _kill_stats(name, fks)
+    assert suite.non_original_count() == stats["datasets"]
+    benchmark.extra_info.update(stats)
+
+    mean = benchmark.stats.stats.mean
+    key = (name, len(fks))
+    row = _row_store.setdefault(
+        key,
+        {
+            "Query": name.lstrip("Q"),
+            "#Joins(#Rel)": f"{info['joins']} ({len(info['relations'])})",
+            "#FK": len(fks),
+            "#Datasets": stats["datasets"],
+            "#MutantsKilled": f"{stats['killed']} (of {stats['mutants']})",
+        },
+    )
+    column = "Time w/ unfolding (s)" if unfold else "Time w/o unfolding (s)"
+    row[column] = f"{mean:.3f}"
+    if all(c in row for c in COLUMNS):
+        add_row("table1", CAPTION, COLUMNS, row)

@@ -1,0 +1,83 @@
+"""Table II — queries with selections and aggregations.
+
+Paper reference (Table II): six queries mixing selections, aggregations
+and joins (join queries carry exactly one foreign key).  Aggregation
+coupled with joins is the case where solving without unfolding degrades
+the most (the paper saw >50x there).
+
+Run:  pytest benchmarks/bench_table2.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GenConfig, XDataGenerator
+from repro.datasets import UNIVERSITY_QUERIES, schema_with_fks
+from repro.mutation import enumerate_mutants
+from repro.testing import evaluate_suite
+
+from _tables import add_row
+
+CAPTION = "TABLE II: RESULTS FOR QUERIES WITH SELECTION/AGGREGATION"
+COLUMNS = [
+    "Query", "#Joins", "#Selections", "#Aggregations", "#Datasets",
+    "#MutantsKilled", "Time w/o unfolding (s)", "Time w/ unfolding (s)",
+]
+
+NAMES = ["Q7", "Q8", "Q9", "Q10", "Q11", "Q12"]
+
+_kill_cache: dict[str, dict] = {}
+_row_store: dict[str, dict] = {}
+
+
+def _kill_stats(name: str) -> dict:
+    if name not in _kill_cache:
+        info = UNIVERSITY_QUERIES[name]
+        schema = schema_with_fks(info["fk_rows"][0])
+        suite = XDataGenerator(schema).generate(info["sql"])
+        space = enumerate_mutants(suite.analyzed)
+        report = evaluate_suite(
+            space, suite.databases, stop_at_first_kill=True
+        )
+        _kill_cache[name] = {
+            "datasets": suite.non_original_count(),
+            "killed": report.killed,
+            "mutants": report.total,
+        }
+    return _kill_cache[name]
+
+
+@pytest.mark.parametrize(
+    "unfold", [True, False], ids=["with-unfolding", "without-unfolding"]
+)
+@pytest.mark.parametrize("name", NAMES)
+def test_table2(benchmark, name, unfold):
+    info = UNIVERSITY_QUERIES[name]
+    schema = schema_with_fks(info["fk_rows"][0])
+    config = GenConfig(unfold=unfold)
+
+    def generate():
+        return XDataGenerator(schema, config).generate(info["sql"])
+
+    suite = benchmark.pedantic(generate, rounds=3, iterations=1)
+    stats = _kill_stats(name)
+    assert suite.non_original_count() == stats["datasets"]
+    benchmark.extra_info.update(stats)
+
+    mean = benchmark.stats.stats.mean
+    row = _row_store.setdefault(
+        name,
+        {
+            "Query": name.lstrip("Q"),
+            "#Joins": info["joins"],
+            "#Selections": info.get("selections", 0),
+            "#Aggregations": info.get("aggregations", 0),
+            "#Datasets": stats["datasets"],
+            "#MutantsKilled": f"{stats['killed']} (of {stats['mutants']})",
+        },
+    )
+    column = "Time w/ unfolding (s)" if unfold else "Time w/o unfolding (s)"
+    row[column] = f"{mean:.3f}"
+    if all(c in row for c in COLUMNS):
+        add_row("table2", CAPTION, COLUMNS, row)

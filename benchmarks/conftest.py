@@ -1,0 +1,23 @@
+"""Benchmark session hooks: print and persist the assembled paper tables."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import _tables  # noqa: E402
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _tables.TABLES:
+        return
+    out_dir = os.path.join(os.path.dirname(__file__), "out")
+    os.makedirs(out_dir, exist_ok=True)
+    for name in sorted(_tables.TABLES):
+        text = _tables.format_table(name)
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)
+        with open(os.path.join(out_dir, f"{name}.txt"), "w") as handle:
+            handle.write(text + "\n")

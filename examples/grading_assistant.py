@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Grading assistant: score student SQL answers against a model query.
+
+This is the scenario that made XData a deployed tool at IIT Bombay: an
+instructor writes the correct query; students submit their attempts; the
+suite generated from the *correct* query is run against each submission,
+and any difference in results exposes the mistake — without the grader
+eyeballing the SQL.
+
+The student mistakes below are classic single mutations: a wrong join
+type, a wrong comparison operator, a wrong aggregate, a missing join
+condition.  Note that the datasets were generated with no knowledge of
+the submissions.
+
+Run:  python examples/grading_assistant.py
+"""
+
+from repro import XDataGenerator, parse_query
+from repro.datasets import schema_with_fks, university_sample_database
+from repro.engine import execute_query
+from repro.testing.killcheck import result_signature
+
+CORRECT = (
+    "SELECT i.name, c.title "
+    "FROM instructor i, teaches t, course c "
+    "WHERE i.id = t.id AND t.course_id = c.course_id AND c.credits > 3"
+)
+
+SUBMISSIONS = {
+    "alice (correct)": CORRECT,
+    # Bob used a LEFT OUTER JOIN — but the join with course above it
+    # filters the null-padded rows away, so his query is *semantically
+    # equivalent* to the model answer (the paper's Example 3).  A fair
+    # grader must NOT penalise him, and no dataset can tell them apart.
+    "bob (left outer join, but equivalent)": (
+        "SELECT i.name, c.title "
+        "FROM instructor i LEFT OUTER JOIN teaches t ON i.id = t.id "
+        "JOIN course c ON t.course_id = c.course_id "
+        "WHERE c.credits > 3"
+    ),
+    "carol (>= instead of >)": (
+        "SELECT i.name, c.title "
+        "FROM instructor i, teaches t, course c "
+        "WHERE i.id = t.id AND t.course_id = c.course_id AND c.credits >= 3"
+    ),
+    "dave (joined the wrong columns)": (
+        "SELECT i.name, c.title "
+        "FROM instructor i, teaches t, course c "
+        "WHERE i.id = t.id AND t.sec_id = c.course_id AND c.credits > 3"
+    ),
+    "eve (forgot the course join condition)": (
+        "SELECT i.name, c.title "
+        "FROM instructor i, teaches t, course c "
+        "WHERE i.id = t.id AND c.credits > 3"
+    ),
+}
+
+
+def main():
+    schema = schema_with_fks(["teaches.id", "teaches.course_id"])
+    # Use the sample database's values so the test data reads naturally.
+    generator = XDataGenerator(schema)
+    suite = generator.generate(CORRECT)
+    print(f"generated {len(suite.datasets)} datasets from the model answer\n")
+
+    correct_query = parse_query(CORRECT)
+    for student, sql in SUBMISSIONS.items():
+        submitted = parse_query(sql)
+        failures = []
+        for index, dataset in enumerate(suite.datasets):
+            expected = result_signature(execute_query(correct_query, dataset.db))
+            got = result_signature(execute_query(submitted, dataset.db))
+            if expected != got:
+                failures.append((index, dataset))
+        if not failures:
+            print(f"PASS  {student}")
+        else:
+            index, dataset = failures[0]
+            print(f"FAIL  {student}  (wrong on {len(failures)} datasets)")
+            print(f"      first failing dataset: {dataset.purpose}")
+    print()
+    print("The instructor never wrote a single test case by hand.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""XData: constraint-based test-data generation for killing SQL mutants.
+
+A from-scratch Python reproduction of *"Generating Test Data for Killing
+SQL Mutants: A Constraint-based Approach"* (Shah, Sudarshan et al., IIT
+Bombay; the extended version of the ICDE 2010 short paper "X-Data").
+
+Typical use::
+
+    from repro import XDataGenerator, parse_ddl, enumerate_mutants, evaluate_suite
+
+    schema = parse_ddl(open("schema.sql").read())
+    generator = XDataGenerator(schema)
+    suite = generator.generate("SELECT * FROM r, s WHERE r.a = s.a")
+    for dataset in suite.datasets:
+        print(dataset.pretty())
+
+    space = enumerate_mutants(suite.analyzed)
+    report = evaluate_suite(space, suite.databases)
+    print(f"killed {report.killed} of {report.total} mutants")
+"""
+
+from repro.baseline import ShortPaperGenerator
+from repro.core import (
+    AnalyzedQuery,
+    GenConfig,
+    GeneratedDataset,
+    TestSuite,
+    XDataGenerator,
+    analyze_query,
+)
+from repro.engine import Database, execute_plan, execute_query
+from repro.errors import XDataError
+from repro.mutation import Mutant, MutationSpace, enumerate_mutants
+from repro.schema import Column, ForeignKey, Schema, SqlType, Table, parse_ddl
+from repro.sql import parse_query, to_sql
+from repro.core.assumptions import check_assumptions
+from repro.core.decorrelate import decorrelate
+from repro.engine.export import from_csv_map, to_csv_map, to_insert_script
+from repro.testing import (
+    classify_survivors,
+    evaluate_suite,
+    format_kill_report,
+    format_suite,
+    generate_workload,
+    minimize_suite,
+    random_database,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "XDataGenerator",
+    "GenConfig",
+    "TestSuite",
+    "GeneratedDataset",
+    "AnalyzedQuery",
+    "analyze_query",
+    "parse_query",
+    "to_sql",
+    "parse_ddl",
+    "Schema",
+    "Table",
+    "Column",
+    "ForeignKey",
+    "SqlType",
+    "Database",
+    "execute_query",
+    "execute_plan",
+    "enumerate_mutants",
+    "MutationSpace",
+    "Mutant",
+    "evaluate_suite",
+    "classify_survivors",
+    "random_database",
+    "format_kill_report",
+    "format_suite",
+    "ShortPaperGenerator",
+    "XDataError",
+    "minimize_suite",
+    "generate_workload",
+    "check_assumptions",
+    "decorrelate",
+    "to_insert_script",
+    "to_csv_map",
+    "from_csv_map",
+    "__version__",
+]

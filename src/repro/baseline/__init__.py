@@ -1,0 +1,5 @@
+"""The earlier short-paper algorithm [14], used as the comparison baseline."""
+
+from repro.baseline.shortpaper import ShortPaperGenerator
+
+__all__ = ["ShortPaperGenerator"]

@@ -1,0 +1,156 @@
+"""Checks for the paper's assumptions A1-A8 (Section II).
+
+The completeness guarantee (Theorem 1) holds *under the assumptions*;
+violating some of them silently weakens the suite instead of breaking
+generation.  This module audits a query + schema and returns warnings so
+users know when they are outside the guaranteed envelope:
+
+* A1/A2 are enforced by the :class:`~repro.schema.catalog.Schema`
+  constructor (only key constraints exist; FK columns are NOT NULL unless
+  the V-H relaxation is opted into — which is reported here).
+* A3-A6 are enforced by the parser/analyzer (single block, conjunctive
+  predicates, no IS NULL).
+* A7: a full outer join should contribute at least one attribute from
+  each input to the select list, else mutations in one input may be
+  invisible in the result.
+* A8: a *natural* full outer join needs a non-common attribute from each
+  input (the coalesced common column can mask one side).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analyze import AnalyzedQuery
+from repro.sql.ast import (
+    ColumnRef,
+    FromItem,
+    Join,
+    JoinKind,
+    Star,
+    TableRef,
+    expr_columns,
+    iter_table_refs,
+)
+
+
+@dataclass(frozen=True)
+class AssumptionWarning:
+    """One audit finding."""
+
+    assumption: str  # e.g. 'A7'
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.assumption}] {self.message}"
+
+
+def _select_bindings(aq: AnalyzedQuery) -> tuple[set[str], bool]:
+    """(bindings referenced by the select list, has bare star)."""
+    bindings: set[str] = set()
+    bare_star = False
+    for item in aq.query.select_items:
+        if isinstance(item.expr, Star):
+            if item.expr.table is None:
+                bare_star = True
+            else:
+                bindings.add(item.expr.table.lower())
+            continue
+        for ref in expr_columns(item.expr):
+            if ref.table:
+                bindings.add(ref.table.lower())
+    return bindings, bare_star
+
+
+def _common_natural_columns(aq: AnalyzedQuery, join: Join) -> set[str]:
+    left_tables = {
+        aq.table_of(r.binding.lower()) for r in iter_table_refs(join.left)
+    }
+    right_tables = {
+        aq.table_of(r.binding.lower()) for r in iter_table_refs(join.right)
+    }
+    left_cols = set()
+    for table in left_tables:
+        left_cols.update(aq.schema.table(table).column_names)
+    right_cols = set()
+    for table in right_tables:
+        right_cols.update(aq.schema.table(table).column_names)
+    return left_cols & right_cols
+
+
+def check_assumptions(aq: AnalyzedQuery) -> list[AssumptionWarning]:
+    """Audit the analyzed query; returns an empty list when all clear."""
+    warnings: list[AssumptionWarning] = []
+    if aq.schema.allow_nullable_fks:
+        warnings.append(
+            AssumptionWarning(
+                "A2",
+                "schema allows nullable foreign keys; the Section V-H "
+                "NULL-key datasets are used where applicable",
+            )
+        )
+    select_bindings, bare_star = _select_bindings(aq)
+
+    def side_visible(item: FromItem, exclude_columns: set[str]) -> bool:
+        if bare_star:
+            return not exclude_columns or _has_noncommon_column(
+                aq, item, exclude_columns
+            )
+        for ref in iter_table_refs(item):
+            if ref.binding.lower() in select_bindings:
+                if not exclude_columns:
+                    return True
+                if _select_uses_noncommon(aq, ref, exclude_columns):
+                    return True
+        return False
+
+    def _has_noncommon_column(aq, item, exclude) -> bool:
+        for ref in iter_table_refs(item):
+            table = aq.schema.table(aq.table_of(ref.binding.lower()))
+            if set(table.column_names) - exclude:
+                return True
+        return False
+
+    def _select_uses_noncommon(aq, ref, exclude) -> bool:
+        binding = ref.binding.lower()
+        for item in aq.query.select_items:
+            if isinstance(item.expr, Star):
+                if item.expr.table and item.expr.table.lower() == binding:
+                    return _has_noncommon_column(aq, ref, exclude)
+                continue
+            for col in expr_columns(item.expr):
+                if col.table == binding and col.column not in exclude:
+                    return True
+        return False
+
+    def walk(item: FromItem) -> None:
+        if isinstance(item, TableRef):
+            return
+        assert isinstance(item, Join)
+        walk(item.left)
+        walk(item.right)
+        if item.kind is not JoinKind.FULL:
+            return
+        exclude = (
+            _common_natural_columns(aq, item) if item.natural else set()
+        )
+        rule = "A8" if item.natural else "A7"
+        for side, label in ((item.left, "left"), (item.right, "right")):
+            if not side_visible(side, exclude):
+                suffix = (
+                    " other than the common (join) attributes"
+                    if item.natural
+                    else ""
+                )
+                warnings.append(
+                    AssumptionWarning(
+                        rule,
+                        f"full outer join: the select list exposes no "
+                        f"attribute of the {label} input{suffix}; mutations "
+                        f"there may be invisible in the result",
+                    )
+                )
+
+    for item in aq.query.from_items:
+        walk(item)
+    return warnings

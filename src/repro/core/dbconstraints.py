@@ -1,0 +1,123 @@
+"""genDBConstraints(): primary-key, foreign-key and domain constraints.
+
+Implements Section V-B:
+
+* **Primary keys** become functional-dependency ("chase") constraints: if
+  two slots agree on the key they agree on every attribute.  The paper
+  deliberately does *not* force key values distinct, so the solver may
+  collapse two slots into one tuple; exact duplicates are eliminated at
+  assembly time.
+* **Foreign keys** become bounded FORALL/EXISTS constraints: every
+  referencing slot's key must equal some referenced slot's key.  Foreign
+  keys into relations with no slots (not in the query) are closed at
+  assembly time instead.
+* **Domains** are handled through the solver's preferred-value machinery
+  at variable-declaration time (see :class:`ProblemSpace`).
+"""
+
+from __future__ import annotations
+
+from repro.core.tuplespace import ProblemSpace
+from repro.solver import builders
+from repro.solver.terms import Formula
+
+
+def primary_key_constraints(space: ProblemSpace) -> list[Formula]:
+    """FD-chase constraints for every multi-slot table with a primary key."""
+    out: list[Formula] = []
+    schema = space.aq.schema
+    for table, size in space.sizes.items():
+        if size < 2:
+            continue
+        schema_table = schema.table(table)
+        if not schema_table.primary_key:
+            continue
+        key_cols = list(schema_table.primary_key)
+        other_cols = [
+            c for c in schema_table.column_names if c not in set(key_cols)
+        ]
+        instances = []
+        for i in range(size):
+            for j in range(i + 1, size):
+                key_equal = builders.conj(
+                    [
+                        builders.eq(space.var(table, i, c), space.var(table, j, c))
+                        for c in key_cols
+                    ]
+                )
+                rest_equal = builders.conj(
+                    [
+                        builders.eq(space.var(table, i, c), space.var(table, j, c))
+                        for c in other_cols
+                    ]
+                )
+                instances.append(builders.implies(key_equal, rest_equal))
+        if instances:
+            out.append(builders.forall(instances, f"pk:{table}"))
+    return out
+
+
+def foreign_key_constraints(space: ProblemSpace) -> list[Formula]:
+    """FORALL-EXISTS subset constraints for in-query foreign keys."""
+    out: list[Formula] = []
+    schema = space.aq.schema
+    for fk in schema.foreign_keys():
+        if not space.in_query(fk.table) or not space.in_query(fk.ref_table):
+            continue
+        for i in space.table_slots(fk.table):
+            if any(
+                (fk.table, i, col) in space.forced_nulls for col in fk.columns
+            ):
+                # A NULL foreign key satisfies the constraint (Sec V-H).
+                continue
+            choices = []
+            for j in space.table_slots(fk.ref_table):
+                choices.append(
+                    builders.conj(
+                        [
+                            builders.eq(
+                                space.var(fk.table, i, col),
+                                space.var(fk.ref_table, j, ref_col),
+                            )
+                            for col, ref_col in fk.column_pairs()
+                        ]
+                    )
+                )
+            out.append(
+                builders.exists(
+                    choices, f"fk:{fk.table}[{i}]->{fk.ref_table}"
+                )
+            )
+    return out
+
+
+def db_constraints(space: ProblemSpace) -> list[Formula]:
+    """All database constraints for the current tuple space."""
+    return primary_key_constraints(space) + foreign_key_constraints(space)
+
+
+def add_fk_support_slots(space: ProblemSpace, table: str, column: str) -> None:
+    """Ensure referenced tables can absorb a dangling value chain.
+
+    When a dataset nullifies ``table.column`` (or forces it away from the
+    joined value), slots of ``table`` still carry *some* value in that
+    column; if the column is a foreign key into an in-query table, that
+    table needs a spare tuple to hold the off-value key — and so on down
+    the foreign-key chain (Section V-B's extra-tuple construction).
+    """
+    schema = space.aq.schema
+    seen: set[tuple[str, str]] = set()
+    frontier = [(table, column)]
+    while frontier:
+        src_table, src_col = frontier.pop()
+        if (src_table, src_col) in seen:
+            continue
+        seen.add((src_table, src_col))
+        for fk in schema.foreign_keys():
+            if fk.table != src_table or src_col not in fk.columns:
+                continue
+            if not space.in_query(fk.ref_table):
+                continue
+            space.add_support_slot(fk.ref_table)
+            position = fk.columns.index(src_col)
+            frontier.append((fk.ref_table, fk.ref_columns[position]))

@@ -1,0 +1,189 @@
+"""Subquery decorrelation (Section V-H).
+
+The paper: "Simple subqueries which can be decorrelated into joins can be
+handled by decorrelating the query and then applying our algorithms to
+generate datasets."  This module rewrites two shapes of subquery
+predicate into joins:
+
+* ``outer_expr IN (SELECT col FROM t WHERE ...)``
+* ``EXISTS (SELECT ... FROM t WHERE t.c = outer.c AND ...)``
+
+The rewrite pulls ``t`` into the outer FROM clause (under a fresh alias
+if needed) and conjoins the membership/correlation conditions.  A
+semijoin equals a plain join **only when each outer row matches at most
+one subquery row**; we therefore require the matched/correlated columns
+of ``t`` to cover a primary key, or the outer query to be SELECT
+DISTINCT, and raise :class:`~repro.errors.UnsupportedSqlError` otherwise
+rather than silently changing multiplicities.
+
+Restrictions (the paper's "simple" subqueries): one relation in the
+subquery's FROM, no aggregation or grouping, no nesting, and conjunct
+predicates only — everything else raises with a pointed message.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnsupportedSqlError
+from repro.schema.catalog import Schema
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    Exists,
+    Expr,
+    InSubquery,
+    Query,
+    TableRef,
+    query_table_refs,
+)
+
+
+def decorrelate(query: Query, schema: Schema) -> Query:
+    """Rewrite all subquery predicates of ``query`` into joins.
+
+    Returns the query unchanged when it has no subquery predicates.
+    """
+    if not query.has_subquery_predicates:
+        return query
+    from_items = list(query.from_items)
+    where: list = []
+    used_bindings = {
+        ref.binding.lower() for ref in query_table_refs(query)
+    }
+    counter = 0
+    for pred in query.where:
+        if isinstance(pred, (Exists, InSubquery)):
+            counter += 1
+            new_item, new_conjuncts = _rewrite_subquery(
+                pred, query, schema, used_bindings, counter
+            )
+            from_items.append(new_item)
+            used_bindings.add(new_item.binding.lower())
+            where.extend(new_conjuncts)
+        else:
+            where.append(pred)
+    return Query(
+        select_items=query.select_items,
+        from_items=tuple(from_items),
+        where=tuple(where),
+        group_by=query.group_by,
+        distinct=query.distinct,
+    )
+
+
+def _subquery_table(sub: Query) -> TableRef:
+    if len(sub.from_items) != 1 or not isinstance(sub.from_items[0], TableRef):
+        raise UnsupportedSqlError(
+            "only subqueries over a single base table can be decorrelated"
+        )
+    if sub.group_by or sub.has_aggregates:
+        raise UnsupportedSqlError(
+            "aggregating subqueries cannot be decorrelated into joins"
+        )
+    if sub.has_subquery_predicates:
+        raise UnsupportedSqlError("nested subqueries are not supported")
+    return sub.from_items[0]
+
+
+def _rewrite_expr(expr: Expr, old_binding: str, new_binding: str, columns) -> Expr:
+    """Re-qualify subquery column references under the fresh alias.
+
+    Unqualified references resolve to the subquery's table when it has
+    the column (SQL's innermost-scope rule); anything else is left for
+    the outer query's resolution (a correlation reference).
+    """
+    if isinstance(expr, ColumnRef):
+        if expr.table is not None:
+            if expr.table.lower() == old_binding:
+                return ColumnRef(new_binding, expr.column)
+            return expr
+        if expr.column.lower() in columns:
+            return ColumnRef(new_binding, expr.column)
+        return expr
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op,
+            _rewrite_expr(expr.left, old_binding, new_binding, columns),
+            _rewrite_expr(expr.right, old_binding, new_binding, columns),
+        )
+    return expr
+
+
+def _rewrite_subquery(pred, outer: Query, schema: Schema, used, counter):
+    sub = pred.query if isinstance(pred, Exists) else pred.query
+    table_ref = _subquery_table(sub)
+    table = schema.table(table_ref.name)
+    columns = set(table.column_names)
+    old_binding = table_ref.binding.lower()
+
+    new_binding = old_binding
+    while new_binding in used:
+        new_binding = f"{old_binding}_sq{counter}"
+        counter += 1
+    new_item = TableRef(table_ref.name.lower(), new_binding)
+
+    conjuncts: list[Comparison] = []
+    for inner_pred in sub.where:
+        if not isinstance(inner_pred, Comparison):
+            raise UnsupportedSqlError("nested subqueries are not supported")
+        conjuncts.append(
+            Comparison(
+                inner_pred.op,
+                _rewrite_expr(inner_pred.left, old_binding, new_binding, columns),
+                _rewrite_expr(inner_pred.right, old_binding, new_binding, columns),
+            )
+        )
+
+    matched_columns: set[str] = set()
+    if isinstance(pred, InSubquery):
+        if len(sub.select_items) != 1:
+            raise UnsupportedSqlError(
+                "IN subqueries must select exactly one column"
+            )
+        target = sub.select_items[0].expr
+        if not isinstance(target, ColumnRef):
+            raise UnsupportedSqlError(
+                "IN subqueries must select a plain column"
+            )
+        inner_col = _rewrite_expr(target, old_binding, new_binding, columns)
+        if not (
+            isinstance(inner_col, ColumnRef)
+            and inner_col.table == new_binding
+        ):
+            raise UnsupportedSqlError(
+                "the IN subquery's select column must come from its table"
+            )
+        conjuncts.append(Comparison("=", pred.expr, inner_col))
+        matched_columns.add(inner_col.column.lower())
+
+    # Columns of the subquery table pinned by equality to the outer query
+    # (or to constants) also bound the match multiplicity.
+    for conj in conjuncts:
+        if conj.op != "=":
+            continue
+        for side, other in ((conj.left, conj.right), (conj.right, conj.left)):
+            if (
+                isinstance(side, ColumnRef)
+                and side.table == new_binding
+                and not _mentions_binding(other, new_binding)
+            ):
+                matched_columns.add(side.column.lower())
+
+    if not outer.distinct and not set(table.primary_key) <= matched_columns:
+        raise UnsupportedSqlError(
+            f"decorrelating this subquery over {table.name!r} could change "
+            f"result multiplicities: the matched columns "
+            f"{sorted(matched_columns)} do not cover the primary key "
+            f"{list(table.primary_key)}; use SELECT DISTINCT or match a key"
+        )
+    return new_item, conjuncts
+
+
+def _mentions_binding(expr: Expr, binding: str) -> bool:
+    if isinstance(expr, ColumnRef):
+        return expr.table == binding
+    if isinstance(expr, BinaryOp):
+        return _mentions_binding(expr.left, binding) or _mentions_binding(
+            expr.right, binding
+        )
+    return False

@@ -1,0 +1,356 @@
+"""Algorithm 1: the XData dataset generator.
+
+:class:`XDataGenerator` ties the whole pipeline together::
+
+    generateDataSet(q):
+        preprocess query tree          -> repro.core.analyze
+        initializeIndices()            -> repro.core.tuplespace
+        generateDataSetForOriginalQuery()
+        killEquivalenceClasses()       -> repro.core.kill_eqclass
+        killOtherPredicates()          -> repro.core.kill_predicates
+        killComparisonOperators()      -> repro.core.kill_comparison
+        killAggregates()               -> repro.core.kill_aggregates
+
+Each dataset spec is solved independently with a fresh solver; UNSAT
+results are reported as skipped (equivalent) mutation groups, never as
+errors.  The number of datasets is linear in query size: at most one per
+equivalence-class element, one per (non-equi join predicate, relation),
+three per selection conjunct, and one per aggregation operator.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core import (
+    kill_aggregates,
+    kill_comparison,
+    kill_eqclass,
+    kill_predicates,
+)
+from repro.core.analyze import AnalyzedQuery, analyze_query
+from repro.core.assemble import assemble_dataset
+from repro.core.dbconstraints import add_fk_support_slots, db_constraints
+from repro.core.input_database import input_constraints
+from repro.core.spec import DatasetSpec, SkippedTarget
+from repro.core.tuplespace import ProblemSpace
+from repro.engine.database import Database
+from repro.schema.catalog import Schema
+from repro.solver.search import SearchConfig
+from repro.solver.solver import Solver, SolveStats
+from repro.solver.terms import Formula
+from repro.sql.ast import Query
+from repro.sql.parser import parse_query
+
+
+@dataclass
+class GenConfig:
+    """Generator configuration.
+
+    Attributes:
+        unfold: Unfold bounded quantifiers before solving (Section VI-B).
+            Turning this off reproduces the paper's slow path.
+        include_comparisons: Generate the comparison-operator datasets.
+        include_aggregates: Generate the aggregation datasets.
+        input_db: Optional input database (Section VI-A).
+        input_mode: 'domain' or 'tuples' (see
+            :mod:`repro.core.input_database`).
+        solver: Search configuration forwarded to every solve call.
+        trace_constraints: Attach each dataset's constraint set, rendered
+            in CVC3 ASSERT syntax, to the result (debugging aid matching
+            the paper's presentation).
+    """
+
+    unfold: bool = True
+    include_comparisons: bool = True
+    include_aggregates: bool = True
+    input_db: Database | None = None
+    input_mode: str = "domain"
+    solver: SearchConfig = field(default_factory=SearchConfig)
+    trace_constraints: bool = False
+    #: Extension: anti-coincidence datasets that kill wrong-attribute
+    #: join-condition mutants (repro.mutation.joincond); off by default
+    #: to preserve the paper's dataset counts.
+    include_join_condition_datasets: bool = False
+    #: Ablation switches (each disables one of the paper's design
+    #: choices; see benchmarks/bench_ablation.py for their effect):
+    use_equivalence_classes: bool = True  # Section IV-B / Fig. 2
+    use_fk_support_slots: bool = True  # Section V-B extra tuples
+    use_groupby_distinctness: bool = True  # aggregate-masking guard
+
+
+@dataclass
+class GeneratedDataset:
+    """One generated test dataset plus its provenance."""
+
+    group: str
+    target: str
+    purpose: str
+    db: Database
+    stats: SolveStats
+    relaxation: str | None = None
+    used_input_db: bool = False
+    constraints_cvc: str | None = None
+
+    def pretty(self) -> str:
+        header = f"[{self.group}] {self.purpose}"
+        if self.relaxation:
+            header += f" (relaxed: {self.relaxation})"
+        return f"{header}\n{self.db.pretty()}"
+
+
+@dataclass
+class TestSuite:
+    """The full result of Algorithm 1 for one query."""
+
+    sql: str
+    analyzed: AnalyzedQuery
+    datasets: list[GeneratedDataset]
+    skipped: list[SkippedTarget]
+    elapsed: float
+    solve_time: float
+    #: A1-A8 audit findings (see repro.core.assumptions); non-empty means
+    #: the completeness guarantee may not cover this query.
+    warnings: list = field(default_factory=list)
+
+    @property
+    def databases(self) -> list[Database]:
+        return [d.db for d in self.datasets]
+
+    def count(self, group: str | None = None) -> int:
+        if group is None:
+            return len(self.datasets)
+        return sum(1 for d in self.datasets if d.group == group)
+
+    def non_original_count(self) -> int:
+        """Dataset count excluding the original-query dataset.
+
+        This matches Table I/II's "#Datasets Generated" convention, which
+        "does not include the dataset generated to satisfy the original
+        query".
+        """
+        return sum(1 for d in self.datasets if d.group != "original")
+
+    def pretty(self) -> str:
+        blocks = [f"Test suite for: {self.sql}",
+                  f"  {len(self.datasets)} datasets, "
+                  f"{len(self.skipped)} equivalent mutation groups skipped"]
+        for dataset in self.datasets:
+            blocks.append(dataset.pretty())
+        return "\n\n".join(blocks)
+
+
+def _original_spec(aq: AnalyzedQuery) -> DatasetSpec:
+    copies = 1
+    if aq.having:
+        from repro.engine.values import sql_compare
+
+        # Pick a tuple-set count satisfying every COUNT-style conjunct.
+        for candidate in (1, 2, 3, 4, 5, 6):
+            if all(
+                h.agg.func != "COUNT"
+                or sql_compare(h.op, candidate, h.constant) is True
+                for h in aq.having
+            ):
+                copies = candidate
+                break
+
+    def build(space: ProblemSpace) -> list[Formula]:
+        conds: list[Formula] = []
+        for copy in range(copies):
+            for ec in space.aq.eq_classes:
+                conds.extend(space.eq_class_conditions(ec, copy=copy))
+            for info in space.aq.selections + space.aq.other_joins:
+                conds.append(space.pred_formula(info.pred, copy=copy))
+        if space.aq.having:
+            from repro.core.kill_having import satisfy_all
+            from repro.solver import builders
+
+            for attr in space.aq.group_by:
+                for copy in range(copies - 1):
+                    conds.append(
+                        builders.eq(
+                            space.attr_var(attr, copy),
+                            space.attr_var(attr, copy + 1),
+                        )
+                    )
+            forced = satisfy_all(space, copies)
+            if forced is not None:
+                conds.extend(forced)
+        return conds
+
+    return DatasetSpec(
+        group="original",
+        target="original-query",
+        purpose="non-empty result for the original query",
+        build=build,
+        copies=copies,
+    )
+
+
+class XDataGenerator:
+    """Generates complete mutant-killing test suites for SQL queries."""
+
+    def __init__(self, schema: Schema, config: GenConfig | None = None):
+        self.schema = schema
+        self.config = config or GenConfig()
+
+    # -- public API ---------------------------------------------------------
+
+    def generate(self, query: str | Query) -> TestSuite:
+        """Run Algorithm 1 for ``query`` and return the test suite.
+
+        Queries with EXISTS / IN (SELECT ...) predicates are decorrelated
+        into joins first (Section V-H) when that is multiplicity-safe.
+        """
+        start = time.perf_counter()
+        parsed = parse_query(query) if isinstance(query, str) else query
+        if parsed.has_subquery_predicates:
+            from repro.core.decorrelate import decorrelate
+
+            parsed = decorrelate(parsed, self.schema)
+        aq = analyze_query(parsed, self.schema)
+        specs: list[DatasetSpec] = [_original_spec(aq)]
+        skipped: list[SkippedTarget] = []
+
+        ec_specs, ec_skipped = kill_eqclass.specs(
+            aq,
+            merged_ecs=self.config.use_equivalence_classes,
+            groupby_distinct=self.config.use_groupby_distinctness,
+        )
+        specs.extend(ec_specs)
+        skipped.extend(ec_skipped)
+
+        pred_specs, pred_skipped = kill_predicates.specs(
+            aq, groupby_distinct=self.config.use_groupby_distinctness
+        )
+        specs.extend(pred_specs)
+        skipped.extend(pred_skipped)
+
+        if self.config.include_comparisons:
+            cmp_specs, cmp_skipped = kill_comparison.specs(aq)
+            specs.extend(cmp_specs)
+            skipped.extend(cmp_skipped)
+
+        if self.config.include_aggregates:
+            agg_specs, agg_skipped = kill_aggregates.specs(aq)
+            specs.extend(agg_specs)
+            skipped.extend(agg_skipped)
+
+        if self.config.include_join_condition_datasets:
+            from repro.core import kill_joincond
+
+            jc_specs, jc_skipped = kill_joincond.specs(aq)
+            specs.extend(jc_specs)
+            skipped.extend(jc_skipped)
+
+        if aq.having:
+            from repro.core import kill_having
+
+            hav_specs, hav_skipped = kill_having.specs(aq)
+            specs.extend(hav_specs)
+            skipped.extend(hav_skipped)
+
+        if aq.null_tests:
+            from repro.core import kill_nulltest
+
+            null_specs, null_skipped = kill_nulltest.specs(aq)
+            specs.extend(null_specs)
+            skipped.extend(null_skipped)
+
+        datasets: list[GeneratedDataset] = []
+        solve_time = 0.0
+        for spec in specs:
+            dataset, spec_skip, spent = self._run_spec(aq, spec)
+            solve_time += spent
+            if dataset is not None:
+                datasets.append(dataset)
+            elif spec_skip is not None:
+                skipped.append(spec_skip)
+        elapsed = time.perf_counter() - start
+        sql = query if isinstance(query, str) else str(parsed)
+        from repro.core.assumptions import check_assumptions
+
+        return TestSuite(
+            sql, aq, datasets, skipped, elapsed, solve_time,
+            warnings=check_assumptions(aq),
+        )
+
+    # -- internals --------------------------------------------------------------
+
+    def _attempts(self, spec: DatasetSpec):
+        yield None, spec.build
+        for note, build in spec.relaxations:
+            yield note, build
+
+    def _run_spec(
+        self, aq: AnalyzedQuery, spec: DatasetSpec
+    ) -> tuple[GeneratedDataset | None, SkippedTarget | None, float]:
+        solve_time = 0.0
+        for note, build in self._attempts(spec):
+            for use_input in self._input_options():
+                solver = Solver(self.config.solver)
+                space = ProblemSpace(aq, solver, copies=spec.copies)
+                if self.config.use_fk_support_slots:
+                    for table, column in spec.support_columns:
+                        add_fk_support_slots(space, table, column)
+                space.finalize_declarations()
+                solver.add_all(build(space))
+                self._apply_null_tests(aq, space, spec)
+                solver.add_all(db_constraints(space))
+                if use_input:
+                    solver.add_all(
+                        input_constraints(
+                            space, self.config.input_db, self.config.input_mode
+                        )
+                    )
+                model = solver.solve(unfold=self.config.unfold)
+                stats = solver.last_stats
+                solve_time += stats.elapsed
+                if model is None:
+                    continue
+                db = assemble_dataset(space, model)
+                trace = None
+                if self.config.trace_constraints:
+                    from repro.solver.cvcformat import assertions
+
+                    trace = assertions(solver.formulas)
+                return (
+                    GeneratedDataset(
+                        group=spec.group,
+                        target=spec.target,
+                        purpose=spec.purpose,
+                        db=db,
+                        stats=stats,
+                        relaxation=note,
+                        used_input_db=use_input,
+                        constraints_cvc=trace,
+                    ),
+                    None,
+                    solve_time,
+                )
+        return None, SkippedTarget(spec.group, spec.target, "unsat"), solve_time
+
+    def _apply_null_tests(self, aq, space, spec) -> None:
+        """Make every IS [NOT] NULL conjunct hold (flipping any the spec
+        targets): absent values are forced NULL at assembly time, present
+        values need nothing (the solver always assigns one)."""
+        for index, info in enumerate(aq.null_tests):
+            wants_null = not info.pred.negated
+            if index in spec.flip_null_tests:
+                wants_null = not wants_null
+            if not wants_null:
+                continue
+            table = aq.table_of(info.attr.binding)
+            for copy in range(spec.copies):
+                space.force_null(
+                    table, space.slot_of(info.attr.binding, copy),
+                    info.attr.column,
+                )
+
+    def _input_options(self) -> list[bool]:
+        """Try with input-database constraints first, then without."""
+        if self.config.input_db is None:
+            return [False]
+        return [True, False]

@@ -1,0 +1,91 @@
+"""Section VI-A: constraining generated data to an input database.
+
+Two modes, matching the paper:
+
+* ``'domain'`` (the experiments' default): every generated attribute value
+  must appear in the corresponding column of the input database — "we
+  constrain attributes to take domain values that are present in an input
+  database, although we do not force entire tuples to be from the input
+  database";
+* ``'tuples'``: every generated tuple must equal one of the input
+  database's tuples (the RI/RD scheme of Section VI-A).
+
+Both can make a dataset's constraints unsatisfiable; the generator then
+retries without them, as the paper describes.
+"""
+
+from __future__ import annotations
+
+from repro.core.tuplespace import ProblemSpace
+from repro.engine.database import Database
+from repro.errors import GenerationError
+from repro.solver import builders
+from repro.solver.terms import Formula, Linear
+
+
+def _encode(space: ProblemSpace, table: str, column: str, value) -> Linear | None:
+    """Encode an input-database value as a solver constant (None for NULL)."""
+    if value is None:
+        return None
+    schema_col = space.aq.schema.table(table).column(column)
+    if schema_col.sqltype.is_textual:
+        pool = space.aq.pools.pool_of(table, column)
+        return builders.const(space.solver.intern(pool, str(value)))
+    if not isinstance(value, int):
+        raise GenerationError(
+            f"input database has non-integer value {value!r} in "
+            f"{table}.{column}; only integer-backed values are supported"
+        )
+    return builders.const(value)
+
+
+def input_constraints(
+    space: ProblemSpace, input_db: Database, mode: str = "domain"
+) -> list[Formula]:
+    """Build the Section VI-A constraints for every slot of the space."""
+    if mode not in ("domain", "tuples"):
+        raise ValueError(f"unknown input-database mode {mode!r}")
+    out: list[Formula] = []
+    for table, size in space.sizes.items():
+        relation = input_db.relation(table)
+        if not relation.rows:
+            continue
+        columns = relation.columns
+        if mode == "domain":
+            for column in columns:
+                idx = relation.column_index(column)
+                encoded = []
+                seen = set()
+                for row in relation.rows:
+                    if row[idx] is None or row[idx] in seen:
+                        continue
+                    seen.add(row[idx])
+                    encoded.append(_encode(space, table, column, row[idx]))
+                if not encoded:
+                    continue
+                for slot in range(size):
+                    var = space.var(table, slot, column)
+                    out.append(
+                        builders.exists(
+                            [builders.eq(var, value) for value in encoded],
+                            f"input-domain:{table}.{column}[{slot}]",
+                        )
+                    )
+        else:
+            for slot in range(size):
+                choices = []
+                for row in relation.rows:
+                    parts = []
+                    for column in columns:
+                        idx = relation.column_index(column)
+                        encoded = _encode(space, table, column, row[idx])
+                        if encoded is None:
+                            continue
+                        parts.append(
+                            builders.eq(space.var(table, slot, column), encoded)
+                        )
+                    choices.append(builders.conj(parts))
+                out.append(
+                    builders.exists(choices, f"input-tuple:{table}[{slot}]")
+                )
+    return out

@@ -1,0 +1,263 @@
+"""Join-order space: all join trees equivalent to the given query.
+
+Section II defines join-type mutations over *every* relational-algebra
+tree derivable from the FROM clause, with attribute equivalence classes
+supplying derived join conditions (Fig. 2: ``A.x = B.x AND B.x = C.x``
+admits the tree ``(A join C) join B`` because ``A.x = C.x`` is implied).
+
+For inner-join queries we enumerate every unordered binary tree whose
+internal nodes join *connected* sub-sets of the join graph (no cross
+products are introduced), assign each node the equivalence-class and
+residual join conditions that first become applicable there, and push
+selections to the leaves (equivalent for inner joins, and the placement
+the paper mutates under).
+
+Queries containing outer joins are not freely reorderable; for those the
+space is the written join tree only (mutated node by node), matching the
+paper's experimental treatment.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.analyze import AnalyzedQuery
+from repro.engine.plan import (
+    AggregateNode,
+    JoinNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SelectNode,
+)
+from repro.errors import GenerationError
+from repro.sql.ast import ColumnRef, Comparison, JoinKind
+
+
+# ---------------------------------------------------------------------------
+# Shape trees
+# ---------------------------------------------------------------------------
+
+
+class Shape:
+    """Marker base for join-tree shapes (bindings only, no join types)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class LeafShape(Shape):
+    binding: str
+
+    @property
+    def bindings(self) -> frozenset[str]:
+        return frozenset({self.binding})
+
+
+@dataclass(frozen=True)
+class NodeShape(Shape):
+    left: Shape
+    right: Shape
+
+    @property
+    def bindings(self) -> frozenset[str]:
+        return self.left.bindings | self.right.bindings
+
+
+def shape_nodes(shape: Shape) -> list[NodeShape]:
+    """All internal nodes of a shape, outermost first."""
+    if isinstance(shape, LeafShape):
+        return []
+    assert isinstance(shape, NodeShape)
+    return [shape] + shape_nodes(shape.left) + shape_nodes(shape.right)
+
+
+# ---------------------------------------------------------------------------
+# Join graph + enumeration
+# ---------------------------------------------------------------------------
+
+
+class JoinGraph:
+    """Connectivity structure over query bindings."""
+
+    def __init__(self, aq: AnalyzedQuery):
+        self.aq = aq
+        self.nodes = list(aq.bindings)
+        self._adjacent: dict[str, set[str]] = {b: set() for b in self.nodes}
+        groups: list[frozenset[str]] = []
+        for ec in aq.eq_classes:
+            groups.append(frozenset(attr.binding for attr in ec))
+        for pred in aq.other_joins:
+            groups.append(pred.bindings)
+        for group in groups:
+            for a, b in itertools.combinations(sorted(group), 2):
+                self._adjacent[a].add(b)
+                self._adjacent[b].add(a)
+
+    def connected(self, subset: frozenset[str]) -> bool:
+        if not subset:
+            return False
+        seen = {next(iter(subset))}
+        frontier = list(seen)
+        while frontier:
+            node = frontier.pop()
+            for other in self._adjacent[node]:
+                if other in subset and other not in seen:
+                    seen.add(other)
+                    frontier.append(other)
+        return seen == subset
+
+    def joinable(self, left: frozenset[str], right: frozenset[str]) -> bool:
+        """True when a join condition is available across the two sides."""
+        union = left | right
+        for ec in self.aq.eq_classes:
+            members = {attr.binding for attr in ec}
+            if members & left and members & right:
+                return True
+        for pred in self.aq.other_joins:
+            if (
+                pred.bindings <= union
+                and pred.bindings & left
+                and pred.bindings & right
+            ):
+                return True
+        return False
+
+
+def enumerate_shapes(aq: AnalyzedQuery, cap: int = 20000) -> list[Shape]:
+    """All unordered join-tree shapes over the query's join graph.
+
+    Raises:
+        GenerationError: If the shape count exceeds ``cap`` (documented
+            guard; the benchmark queries stay far below it).
+    """
+    graph = JoinGraph(aq)
+    order = sorted(graph.nodes)
+    memo: dict[frozenset[str], list[Shape]] = {}
+
+    def trees(subset: frozenset[str]) -> list[Shape]:
+        if subset in memo:
+            return memo[subset]
+        members = sorted(subset)
+        if len(members) == 1:
+            memo[subset] = [LeafShape(members[0])]
+            return memo[subset]
+        result: list[Shape] = []
+        anchor = members[0]
+        rest = members[1:]
+        # Every unordered split: the anchor stays on the left side.
+        for size in range(0, len(rest)):
+            for combo in itertools.combinations(rest, size):
+                left = frozenset({anchor, *combo})
+                right = subset - left
+                if not right:
+                    continue
+                if not graph.connected(left) or not graph.connected(right):
+                    continue
+                if not graph.joinable(left, right):
+                    continue
+                for lt in trees(left):
+                    for rt in trees(right):
+                        result.append(NodeShape(lt, rt))
+                        if len(result) > cap:
+                            raise GenerationError(
+                                f"join-order space exceeds cap of {cap} trees"
+                            )
+        memo[subset] = result
+        return result
+
+    return trees(frozenset(order))
+
+
+# ---------------------------------------------------------------------------
+# Conditions per node
+# ---------------------------------------------------------------------------
+
+
+def node_conditions(aq: AnalyzedQuery, node: NodeShape) -> list[Comparison]:
+    """Join conditions first applicable at ``node``.
+
+    For each equivalence class straddling the node, one representative
+    equality; every deeper straddle got its own equality lower down, so
+    the conjunction over the whole tree implies the full class.
+    """
+    left = node.left.bindings
+    right = node.right.bindings
+    union = left | right
+    conditions: list[Comparison] = []
+    for ec in aq.eq_classes:
+        left_members = sorted(a for a in ec if a.binding in left)
+        right_members = sorted(a for a in ec if a.binding in right)
+        if left_members and right_members:
+            la, ra = left_members[0], right_members[0]
+            conditions.append(
+                Comparison(
+                    "=",
+                    ColumnRef(la.binding, la.column),
+                    ColumnRef(ra.binding, ra.column),
+                )
+            )
+    for pred in aq.other_joins:
+        if (
+            pred.bindings <= union
+            and pred.bindings & left
+            and pred.bindings & right
+        ):
+            conditions.append(pred.pred)
+    return conditions
+
+
+# ---------------------------------------------------------------------------
+# Shape -> plan
+# ---------------------------------------------------------------------------
+
+
+def shape_to_plan(
+    aq: AnalyzedQuery,
+    shape: Shape,
+    kinds: dict[NodeShape, JoinKind] | None = None,
+) -> PlanNode:
+    """Compile a shape into an executable plan.
+
+    ``kinds`` overrides individual nodes' join types (default INNER) —
+    this is how join-type mutants are materialised.  Selections are pushed
+    to the leaves; the select list / aggregation of the analyzed query
+    goes on top.
+    """
+    kinds = kinds or {}
+
+    def build(node: Shape) -> PlanNode:
+        if isinstance(node, LeafShape):
+            occurrence = aq.occurrences[node.binding]
+            plan: PlanNode = ScanNode(occurrence.table, node.binding)
+            selections = [
+                info.pred
+                for info in aq.selections
+                if info.bindings == frozenset({node.binding})
+            ]
+            selections.extend(
+                info.pred
+                for info in aq.null_tests
+                if info.attr.binding == node.binding
+            )
+            if selections:
+                plan = SelectNode(plan, tuple(selections))
+            return plan
+        assert isinstance(node, NodeShape)
+        kind = kinds.get(node, JoinKind.INNER)
+        return JoinNode(
+            kind, build(node.left), build(node.right),
+            tuple(node_conditions(aq, node)),
+        )
+
+    plan = build(shape)
+    query = aq.query
+    if aq.group_by or aq.aggregates or query.having:
+        return AggregateNode(
+            plan,
+            tuple(query.group_by),
+            tuple(query.select_items),
+            tuple(query.having),
+        )
+    return ProjectNode(plan, tuple(query.select_items), query.distinct)

@@ -1,0 +1,164 @@
+"""killAggregates() — Algorithm 4.
+
+For each aggregate ``aggop(A)`` over group-by attributes ``G``, one
+dataset built from **three tuple sets** (one tuple per relation each):
+
+* **S0** — every set satisfies all join and selection conditions, and all
+  three sets share the same ``G`` values (one group, three joined rows);
+* **S1** — sets 0 and 1 agree on ``A`` with a non-zero value but differ in
+  at least one other attribute of ``A``'s relation (so COUNT vs
+  COUNT(DISTINCT), SUM vs SUM(DISTINCT), AVG vs AVG(DISTINCT) differ);
+* **S2** — set 2 differs from them on ``A`` (so MIN and MAX differ);
+* **S3** — no other tuple of the group-by relations carries the group's
+  ``G`` values (vacuous when the space has no extra slots);
+* optional extension constraints (Section V-F's closing paragraph): all
+  ``A`` values ≥ 4, which puts them on one side of zero, keeps distinct
+  values from summing to zero, and separates COUNT/COUNT(DISTINCT) from
+  every value-based aggregate.
+
+Following the paper, inconsistent constraint sets are *dropped* rather
+than failing the dataset: the relaxation ladder tries the full set, then
+without the extension, then without S1, then without S1 and S2 (the case
+where the database constraints make each group a single tuple).
+"""
+
+from __future__ import annotations
+
+from repro.core.analyze import AnalyzedQuery
+from repro.core.attrs import Attr
+from repro.core.spec import DatasetSpec, SkippedTarget
+from repro.core.tuplespace import ProblemSpace
+from repro.solver import builders
+from repro.solver.terms import Formula
+
+_COPIES = 3
+
+
+def _s0(space: ProblemSpace) -> list[Formula]:
+    aq = space.aq
+    conds: list[Formula] = []
+    for copy in range(_COPIES):
+        for ec in aq.eq_classes:
+            conds.extend(space.eq_class_conditions(ec, copy=copy))
+        for info in aq.selections + aq.other_joins:
+            conds.append(space.pred_formula(info.pred, copy=copy))
+    for attr in aq.group_by:
+        for copy in range(_COPIES - 1):
+            conds.append(
+                builders.eq(
+                    space.attr_var(attr, copy), space.attr_var(attr, copy + 1)
+                )
+            )
+    return conds
+
+
+def _s1(space: ProblemSpace, attr: Attr, numeric: bool) -> list[Formula]:
+    a0 = space.attr_var(attr, 0)
+    a1 = space.attr_var(attr, 1)
+    conds: list[Formula] = [builders.eq(a0, a1)]
+    if numeric:
+        conds.append(builders.ne(a0, builders.const(0)))
+    table = space.aq.table_of(attr.binding)
+    slot0 = space.slot_of(attr.binding, 0)
+    slot1 = space.slot_of(attr.binding, 1)
+    others = [
+        builders.ne(space.var(table, slot0, c), space.var(table, slot1, c))
+        for c in space.aq.schema.table(table).column_names
+        if c != attr.column
+    ]
+    if others:
+        conds.append(builders.disj(others))
+    return conds
+
+
+def _s2(space: ProblemSpace, attr: Attr) -> list[Formula]:
+    return [
+        builders.ne(space.attr_var(attr, 2), space.attr_var(attr, 0)),
+    ]
+
+
+def _s3(space: ProblemSpace) -> list[Formula]:
+    aq = space.aq
+    conds: list[Formula] = []
+    for attr in aq.group_by:
+        table = aq.table_of(attr.binding)
+        set_slots = {space.slot_of(attr.binding, k) for k in range(_COPIES)}
+        value = space.attr_var(attr, 0)
+        instances = [
+            builders.eq(space.var(table, i, attr.column), value)
+            for i in space.table_slots(table)
+            if i not in set_slots
+        ]
+        if instances:
+            conds.append(
+                builders.not_exists(instances, f"s3:{table}.{attr.column}")
+            )
+    return conds
+
+
+def _extension(space: ProblemSpace, attr: Attr) -> list[Formula]:
+    return [
+        builders.ge(space.attr_var(attr, k), builders.const(4))
+        for k in range(_COPIES)
+    ]
+
+
+def specs(aq: AnalyzedQuery) -> tuple[list[DatasetSpec], list[SkippedTarget]]:
+    """One Algorithm-4 dataset spec per aggregate (with relaxation ladder)."""
+    out: list[DatasetSpec] = []
+    skipped: list[SkippedTarget] = []
+    for agg_info in aq.aggregates:
+        label = str(agg_info.agg)
+        if agg_info.attr is None:
+            skipped.append(
+                SkippedTarget(
+                    "aggregate", f"agg:{label}",
+                    "COUNT(*) has no aggregated attribute; outside the "
+                    "mutation space",
+                )
+            )
+            continue
+        attr = agg_info.attr
+        numeric = not aq.attr_type(attr).is_textual
+
+        def make(parts):
+            def build(space: ProblemSpace, parts=parts, attr=attr, numeric=numeric):
+                conds: list[Formula] = []
+                conds.extend(_s0(space))
+                if "s1" in parts:
+                    conds.extend(_s1(space, attr, numeric))
+                if "s2" in parts:
+                    conds.extend(_s2(space, attr))
+                conds.extend(_s3(space))
+                if "ext" in parts and numeric:
+                    conds.extend(_extension(space, attr))
+                if "hav" in parts and space.aq.having:
+                    from repro.core.kill_having import satisfy_all
+
+                    forced = satisfy_all(space, _COPIES)
+                    if forced is not None:
+                        conds.extend(forced)
+                return conds
+
+            return build
+
+        ladder = [
+            ("without extension constraints", make({"s1", "s2", "hav"})),
+            ("without S1 (A is unique per group)", make({"s2", "hav"})),
+            ("without S1 and S2 (groups are single tuples)", make({"hav"})),
+            ("without HAVING satisfaction", make(set())),
+        ]
+        out.append(
+            DatasetSpec(
+                group="aggregate",
+                target=f"agg:{label}",
+                purpose=(
+                    f"kill aggregation-operator mutants of {label}: one group "
+                    f"with a duplicated non-zero value and a distinct third value"
+                ),
+                build=make({"s1", "s2", "ext", "hav"}),
+                copies=_COPIES,
+                relaxations=ladder,
+            )
+        )
+    return out, skipped

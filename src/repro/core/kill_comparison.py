@@ -1,0 +1,82 @@
+"""killComparisonOperators() — Section V-E.
+
+Three datasets per selection conjunct suffice to kill every comparison
+operator mutant: one where the operands are *equal*, one where the left
+operand is *less*, one where it is *greater*.  The truth vectors of the
+six operators over these three datasets are pairwise distinct::
+
+        =: (T,F,F)   <: (F,T,F)   >: (F,F,T)
+       <=: (T,T,F)  >=: (T,F,T)  <>: (F,T,T)
+
+so any operator mutation flips the query result on at least one dataset.
+All other predicates, equivalence classes and database constraints are
+kept satisfied so the flip is visible at the root.  The two "violated"
+datasets double as Algorithm 3's no-tuple-satisfies-the-selection
+datasets, which Example 2 needs for join mutants under foreign keys.
+
+String-typed conjuncts use the same three cases: the solver's
+rank-preserving symbol interning makes lexicographic order constraints
+(``name < 'M'``) directly solvable.
+"""
+
+from __future__ import annotations
+
+from repro.core.analyze import AnalyzedQuery, PredInfo
+from repro.core.spec import DatasetSpec, SkippedTarget
+from repro.core.tuplespace import ProblemSpace
+from repro.sql.ast import ColumnRef, Literal, comparison_columns
+from repro.solver.terms import Formula
+
+#: Forced relations per dataset, in generation order.
+NUMERIC_CASES = ("=", "<", ">")
+STRING_CASES = NUMERIC_CASES
+
+
+def _is_string_conjunct(aq: AnalyzedQuery, info: PredInfo) -> bool:
+    for side in (info.pred.left, info.pred.right):
+        if isinstance(side, ColumnRef):
+            from repro.core.attrs import Attr
+
+            if aq.attr_type(Attr(side.table, side.column)).is_textual:
+                return True
+        if isinstance(side, Literal) and isinstance(side.value, str):
+            return True
+    return False
+
+
+def specs(aq: AnalyzedQuery) -> tuple[list[DatasetSpec], list[SkippedTarget]]:
+    """Three dataset specs per selection conjunct (two for the degenerate cases)."""
+    out: list[DatasetSpec] = []
+    for info in aq.selections:
+        cases = STRING_CASES if _is_string_conjunct(aq, info) else NUMERIC_CASES
+        # The "violated" cases may force a foreign-key column away from the
+        # referenced tuple's value (Example 2); give the chain spare tuples.
+        support = [
+            (aq.table_of(ref.table), ref.column)
+            for ref in comparison_columns(info.pred)
+        ]
+        for case_op in cases:
+
+            def build(space: ProblemSpace, pred=info.pred, case_op=case_op) -> list[Formula]:
+                conds: list[Formula] = [space.pred_formula(pred, op=case_op)]
+                for ec in space.aq.eq_classes:
+                    conds.extend(space.eq_class_conditions(ec))
+                for other in space.aq.selections + space.aq.other_joins:
+                    if other.pred == pred:
+                        continue
+                    conds.append(space.pred_formula(other.pred))
+                return conds
+
+            out.append(
+                DatasetSpec(
+                    group="comparison",
+                    target=f"cmp:{info.pred} force {case_op}",
+                    purpose=(
+                        f"kill comparison-operator mutants of '{info.pred}': "
+                        f"dataset where the operands satisfy '{case_op}'"
+                    ),
+                    build=build,
+                    support_columns=list(support),
+                )
+            )
+    return out, []

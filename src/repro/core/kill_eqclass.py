@@ -1,0 +1,201 @@
+"""killEquivalenceClasses() — Algorithm 2.
+
+For every equivalence class ``ec`` and every element ``e = R.a`` of it:
+
+* ``S`` is ``e`` itself, every other element of ``ec`` over the same base
+  column (repeated occurrences share the tuple array, so they are
+  nullified together), and every element that is a foreign key referencing
+  ``R.a`` directly or transitively;
+* ``P = ec - S``; when ``P`` is empty the whole group is a provably
+  equivalent mutation and no dataset is attempted;
+* otherwise the dataset makes all of ``P`` join with each other while no
+  tuple of ``R`` carries the joined value in ``a`` — with every other
+  equivalence class and predicate still satisfied so the difference
+  propagates to the root (Section V-A's "second problem").
+"""
+
+from __future__ import annotations
+
+from repro.core.analyze import AnalyzedQuery
+from repro.core.attrs import Attr
+from repro.core.spec import DatasetSpec, SkippedTarget
+from repro.core.tuplespace import ProblemSpace
+from repro.solver.terms import Formula
+
+
+def _base_column(aq: AnalyzedQuery, attr: Attr) -> tuple[str, str]:
+    return (aq.table_of(attr.binding), attr.column)
+
+
+def nullification_sets(
+    aq: AnalyzedQuery, ec: tuple[Attr, ...], element: Attr
+) -> tuple[list[Attr], list[Attr]]:
+    """Split ``ec`` into (S, P) for nullifying ``element`` (Alg 2 lines 5-7)."""
+    target = _base_column(aq, element)
+    referencing = aq.schema.referencing(*target)
+    s_set: list[Attr] = []
+    p_set: list[Attr] = []
+    for attr in ec:
+        base = _base_column(aq, attr)
+        if base == target or base in referencing:
+            s_set.append(attr)
+        else:
+            p_set.append(attr)
+    return s_set, p_set
+
+
+def _ec_label(ec: tuple[Attr, ...]) -> str:
+    return "{" + ",".join(str(a) for a in ec) + "}"
+
+
+def _null_fk_spec(aq, ec, element, s_set, target):
+    """The Section V-H alternative: NULL the referencing foreign keys.
+
+    When nullifying a referenced attribute is impossible (P empty) but the
+    schema allows nullable foreign keys, a dataset whose referencing
+    tuples carry NULL in the foreign-key column still exhibits the
+    join/outer-join difference: a NULL key joins nothing.  Applicable only
+    when every referencing column is nullable, outside its table's primary
+    key, and not mentioned by any other predicate.
+    """
+    if not aq.schema.allow_nullable_fks:
+        return None
+    base_target = _base_column(aq, element)
+    null_attrs = [a for a in s_set if _base_column(aq, a) != base_target]
+    if not null_attrs:
+        return None
+    for attr in null_attrs:
+        table = aq.table_of(attr.binding)
+        schema_table = aq.schema.table(table)
+        if not schema_table.column(attr.column).nullable:
+            return None
+        if attr.column in schema_table.primary_key:
+            return None
+        for info in aq.selections + aq.other_joins:
+            from repro.sql.ast import comparison_columns
+
+            refs = {
+                (ref.table, ref.column)
+                for ref in comparison_columns(info.pred)
+            }
+            if (attr.binding, attr.column) in refs:
+                return None
+
+    def build(space: ProblemSpace, ec=ec, null_attrs=tuple(null_attrs)):
+        for attr in null_attrs:
+            table = space.aq.table_of(attr.binding)
+            space.force_null(table, space.slot_of(attr.binding), attr.column)
+        conds: list[Formula] = []
+        for other_ec in space.aq.eq_classes:
+            if other_ec == ec:
+                continue
+            conds.extend(space.eq_class_conditions(other_ec))
+        for info in space.aq.selections + space.aq.other_joins:
+            conds.append(space.pred_formula(info.pred))
+        return conds
+
+    nulled = ", ".join(str(a) for a in null_attrs)
+    return DatasetSpec(
+        group="eqclass",
+        target=target + " (null-fk)",
+        purpose=(
+            f"kill join-type mutants via NULL foreign keys (Section V-H): "
+            f"{nulled} set to NULL so the referencing tuples join nothing"
+        ),
+        build=build,
+    )
+
+
+def specs(
+    aq: AnalyzedQuery,
+    merged_ecs: bool = True,
+    groupby_distinct: bool = True,
+) -> tuple[list[DatasetSpec], list[SkippedTarget]]:
+    """One dataset spec per (equivalence class, element) with non-empty P.
+
+    Args:
+        merged_ecs: Use transitively merged equivalence classes (the
+            paper's design, Section IV-B).  When False (ablation study),
+            each equi-join conjunct is treated as its own two-member
+            class, which loses the reordered-join-tree coverage of Fig. 2.
+        groupby_distinct: Attach group-by distinctness constraints for
+            aggregate queries (with relaxation); disabled in ablations.
+    """
+    out: list[DatasetSpec] = []
+    skipped: list[SkippedTarget] = []
+    if merged_ecs:
+        classes = list(aq.eq_classes)
+    else:
+        seen_pairs = []
+        for pair in aq.raw_equijoins:
+            if pair not in seen_pairs:
+                seen_pairs.append(pair)
+        classes = [tuple(pair) for pair in seen_pairs]
+    for ec in classes:
+        for element in ec:
+            target = f"ec:{_ec_label(ec)} nullify {element}"
+            s_set, p_set = nullification_sets(aq, ec, element)
+            if not p_set:
+                null_spec = _null_fk_spec(aq, ec, element, s_set, target)
+                if null_spec is not None:
+                    out.append(null_spec)
+                else:
+                    skipped.append(
+                        SkippedTarget(
+                            "eqclass", target, "structurally-equivalent"
+                        )
+                    )
+                continue
+            table, column = _base_column(aq, element)
+
+            def build(
+                space: ProblemSpace,
+                ec=ec,
+                p_set=tuple(p_set),
+                table=table,
+                column=column,
+                classes=tuple(classes),
+            ) -> list[Formula]:
+                conds: list[Formula] = []
+                conds.extend(space.eq_class_conditions(p_set))
+                conds.append(
+                    space.not_exists_value(
+                        table, column, space.attr_var(p_set[0])
+                    )
+                )
+                for other_ec in classes:
+                    if other_ec == ec:
+                        continue
+                    conds.extend(space.eq_class_conditions(other_ec))
+                for info in space.aq.selections + space.aq.other_joins:
+                    conds.append(space.pred_formula(info.pred))
+                return conds
+
+            relaxations = []
+            if aq.group_by and groupby_distinct:
+                # Primary attempt separates every slot into its own group
+                # so aggregation cannot mask the join difference; fall back
+                # to the bare constraints if that is inconsistent.
+                base_build = build
+
+                def with_distinct(space: ProblemSpace, base_build=base_build):
+                    return base_build(space) + space.groupby_distinctness()
+
+                relaxations = [("without group-by distinctness", build)]
+                build = with_distinct
+
+            out.append(
+                DatasetSpec(
+                    group="eqclass",
+                    target=target,
+                    purpose=(
+                        f"kill join-type mutants: tuples for "
+                        f"{{{','.join(str(a) for a in p_set)}}} join each other "
+                        f"but no {table}.{column} tuple matches them"
+                    ),
+                    build=build,
+                    support_columns=[(table, column)],
+                    relaxations=relaxations,
+                )
+            )
+    return out, skipped

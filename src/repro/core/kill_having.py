@@ -1,0 +1,253 @@
+"""Constrained aggregation: datasets for HAVING-clause mutants.
+
+This implements the paper's named future work ("we are currently
+extending our techniques to handle the having clause") for HAVING
+conjuncts of the form ``aggregate(A) op constant``.
+
+Per conjunct, three datasets force the aggregate's value to be *equal
+to*, *below* and *above* the constant (the Section V-E three-dataset
+scheme lifted to aggregate results), which kills every comparison-
+operator mutant of the conjunct and gives the suite HAVING-visible and
+HAVING-filtered groups.  Aggregate results are linear in the tuple
+attributes for SUM/AVG, bound-style for MIN/MAX, and purely cardinality-
+based for COUNT — for COUNT the *number of tuple copies* is chosen per
+case instead of constraining values.
+
+Per aggregate occurring in HAVING, one additional Algorithm-4-style
+dataset (duplicated non-zero value + distinct third value) is generated
+with the whole HAVING clause forced TRUE, killing aggregate-operator
+mutants inside HAVING where feasible.
+
+No completeness claim is made for constrained aggregation — matching the
+paper, which explicitly leaves it open; the integration tests measure
+what the datasets achieve.
+"""
+
+from __future__ import annotations
+
+from repro.core.analyze import AnalyzedQuery, HavingInfo
+from repro.core.spec import DatasetSpec, SkippedTarget
+from repro.core.tuplespace import ProblemSpace
+from repro.solver import builders
+from repro.solver.terms import Formula, Linear
+
+#: Largest tuple-set count we will allocate to satisfy a COUNT constraint.
+MAX_COPIES = 6
+
+_CASES = ("=", "<", ">")
+
+
+def _count_copies(op: str, constant: int) -> int | None:
+    """Copies that make ``COUNT(...) op constant`` true, or None."""
+    if op == "=":
+        wanted = constant
+    elif op == "<":
+        wanted = constant - 1
+    else:
+        wanted = constant + 1
+    if wanted < 1 or wanted > MAX_COPIES:
+        return None
+    return wanted
+
+
+def _holds(op: str, left: int, right: int) -> bool:
+    return {"=": left == right, "<": left < right, ">": left > right}[op]
+
+
+def _agg_vars(space: ProblemSpace, info: HavingInfo, copies: int) -> list[Linear]:
+    assert info.attr is not None
+    return [space.attr_var(info.attr, copy) for copy in range(copies)]
+
+
+def force_having(
+    space: ProblemSpace,
+    info: HavingInfo,
+    op: str,
+    copies: int,
+) -> list[Formula] | None:
+    """Constraints making ``info.agg op info.constant`` true on the group.
+
+    Returns None when infeasible for this copy count (only COUNT-style
+    constraints depend on cardinality alone).
+    """
+    func = info.agg.func
+    constant = builders.const(info.constant)
+    if func == "COUNT":
+        if not _holds(op, copies, info.constant):
+            return None
+        conds: list[Formula] = []
+        if info.agg.distinct and info.attr is not None:
+            values = _agg_vars(space, info, copies)
+            for i, first in enumerate(values):
+                for second in values[i + 1:]:
+                    conds.append(builders.ne(first, second))
+        return conds
+    values = _agg_vars(space, info, copies)
+    if func in ("SUM", "AVG"):
+        conds = []
+        if info.agg.distinct:
+            for i, first in enumerate(values):
+                for second in values[i + 1:]:
+                    conds.append(builders.ne(first, second))
+        total = values[0]
+        for value in values[1:]:
+            total = total + value
+        target = (
+            builders.const(info.constant * copies)
+            if func == "AVG"
+            else constant
+        )
+        conds.append(builders.compare(op, total, target))
+        return conds
+    if func in ("MIN", "MAX"):
+        bound = builders.ge if func == "MIN" else builders.le
+        strict_out = builders.lt if func == "MIN" else builders.gt
+        conds = []
+        if op == "=":
+            # Some value hits the constant exactly; witnesses are chosen
+            # existentially so several conjuncts' witnesses never collide
+            # on a fixed tuple index.
+            conds.append(
+                builders.exists(
+                    [builders.eq(value, constant) for value in values],
+                    f"having-witness:{func}=",
+                )
+            )
+            for value in values:
+                conds.append(bound(value, constant))
+        elif (op == "<") == (func == "MIN"):
+            # One witness value past the constant decides the extremum
+            # (MIN < c needs one value below c; MAX > c one above).
+            conds.append(
+                builders.exists(
+                    [strict_out(value, constant) for value in values],
+                    f"having-witness:{func}{op}",
+                )
+            )
+        else:
+            # Every value must be on the far side (MIN > c, MAX < c).
+            far = builders.gt if op == ">" else builders.lt
+            for value in values:
+                conds.append(far(value, constant))
+        return conds
+    raise AssertionError(f"unexpected aggregate {func}")
+
+
+def _pick_copies(
+    target: HavingInfo, case_op: str, others: list[HavingInfo]
+) -> int | None:
+    """A copy count satisfying the target case and every other conjunct."""
+    preferred: list[int] = []
+    if target.agg.func == "COUNT":
+        wanted = _count_copies(case_op, target.constant)
+        if wanted is None:
+            return None
+        preferred = [wanted]
+    else:
+        preferred = [2, 1, 3, 4, 5, 6]
+    from repro.engine.values import sql_compare
+
+    for copies in preferred:
+        ok = True
+        for other in others:
+            if other.agg.func == "COUNT" and (
+                sql_compare(other.op, copies, other.constant) is not True
+            ):
+                ok = False
+                break
+        if ok:
+            return copies
+    return None
+
+
+def _base_constraints(space: ProblemSpace, copies: int) -> list[Formula]:
+    aq = space.aq
+    conds: list[Formula] = []
+    for copy in range(copies):
+        for ec in aq.eq_classes:
+            conds.extend(space.eq_class_conditions(ec, copy=copy))
+        for info in aq.selections + aq.other_joins:
+            conds.append(space.pred_formula(info.pred, copy=copy))
+    for attr in aq.group_by:
+        for copy in range(copies - 1):
+            conds.append(
+                builders.eq(
+                    space.attr_var(attr, copy), space.attr_var(attr, copy + 1)
+                )
+            )
+    return conds
+
+
+def satisfy_all(space: ProblemSpace, copies: int) -> list[Formula] | None:
+    """Constraints making every HAVING conjunct true (None if impossible)."""
+    conds: list[Formula] = []
+    for info in space.aq.having:
+        op = info.op
+        if op in _CASES:
+            forced = force_having(space, info, op, copies)
+        else:
+            # <=, >= and <> are implied by one of the three basic cases.
+            fallback = {"<=": "=", ">=": "=", "<>": "<"}[op]
+            forced = force_having(space, info, fallback, copies)
+        if forced is None:
+            return None
+        conds.extend(forced)
+    return conds
+
+
+def specs(aq: AnalyzedQuery) -> tuple[list[DatasetSpec], list[SkippedTarget]]:
+    """Three aggregate-forcing dataset specs per HAVING conjunct."""
+    out: list[DatasetSpec] = []
+    skipped: list[SkippedTarget] = []
+    for index, info in enumerate(aq.having):
+        others = [h for i, h in enumerate(aq.having) if i != index]
+        for case_op in _CASES:
+            target = f"having:{info.pred} force {case_op}"
+            copies = _pick_copies(info, case_op, others)
+            if copies is None:
+                skipped.append(
+                    SkippedTarget("having", target, "structurally-equivalent")
+                )
+                continue
+
+            def build(
+                space: ProblemSpace,
+                info=info,
+                case_op=case_op,
+                copies=copies,
+                others=tuple(others),
+            ) -> list[Formula]:
+                conds = _base_constraints(space, copies)
+                contradiction = builders.eq(builders.const(0), builders.const(1))
+                forced = force_having(space, info, case_op, copies)
+                if forced is None:
+                    # _pick_copies resolved COUNT feasibility; reaching
+                    # here means an inconsistent combination -> UNSAT.
+                    return conds + [contradiction]
+                conds.extend(forced)
+                for other in others:
+                    other_op = (
+                        other.op
+                        if other.op in _CASES
+                        else {"<=": "=", ">=": "=", "<>": "<"}[other.op]
+                    )
+                    other_forced = force_having(space, other, other_op, copies)
+                    if other_forced is None:
+                        conds.append(contradiction)
+                    else:
+                        conds.extend(other_forced)
+                return conds
+
+            out.append(
+                DatasetSpec(
+                    group="having",
+                    target=target,
+                    purpose=(
+                        f"kill HAVING comparison mutants of '{info.pred}': "
+                        f"group whose {info.agg} is {case_op} {info.constant}"
+                    ),
+                    build=build,
+                    copies=copies,
+                )
+            )
+    return out, skipped

@@ -1,0 +1,81 @@
+"""Anti-coincidence datasets for join-condition mutants (extension).
+
+A wrong-attribute mutant (``t.sec_id = c.course_id`` instead of
+``t.course_id = c.course_id``) survives exactly when, on every dataset,
+the wrong column *coincidentally* carries the joining value.  The staple
+datasets plus value rotation usually prevent that, but not provably; this
+extension generates, per equi-join conjunct, one dataset in which the
+original query is satisfied while **every type-compatible sibling column
+refuses the joining value**, so each wrong-attribute mutant produces an
+empty (different) result.
+
+Missing-conjunct mutants need no extra datasets: every equivalence-class
+nullification dataset already has tuples that fail one conjunct while
+satisfying the rest, which a dropped conjunct turns back into result rows
+(asserted in tests/test_joincond.py).
+"""
+
+from __future__ import annotations
+
+from repro.core.analyze import AnalyzedQuery
+from repro.core.spec import DatasetSpec, SkippedTarget
+from repro.core.tuplespace import ProblemSpace
+from repro.mutation.joincond import _compatible_columns, _equijoin_positions
+from repro.solver import builders
+from repro.solver.terms import Formula
+from repro.sql.ast import ColumnRef
+
+
+def specs(aq: AnalyzedQuery) -> tuple[list[DatasetSpec], list[SkippedTarget]]:
+    """One anti-coincidence dataset spec per equi-join conjunct."""
+    out: list[DatasetSpec] = []
+    for position in _equijoin_positions(aq):
+        pred = aq.query.where[position]
+        alternatives: list[tuple[ColumnRef, str]] = []
+        for side in ("left", "right"):
+            ref: ColumnRef = getattr(pred, side)
+            for other in _compatible_columns(aq, ref.table, ref.column):
+                alternatives.append((ref, other))
+        if not alternatives:
+            continue
+
+        def build(
+            space: ProblemSpace,
+            pred=pred,
+            alternatives=tuple(alternatives),
+        ) -> list[Formula]:
+            conds: list[Formula] = []
+            for ec in space.aq.eq_classes:
+                conds.extend(space.eq_class_conditions(ec))
+            for info in space.aq.selections + space.aq.other_joins:
+                conds.append(space.pred_formula(info.pred))
+            # The joining value of this conjunct, at the left operand.
+            left: ColumnRef = pred.left
+            join_value = space.var(
+                space.aq.table_of(left.table),
+                space.slot_of(left.table),
+                left.column,
+            )
+            anti = []
+            for ref, other_column in alternatives:
+                table = space.aq.table_of(ref.table)
+                var = space.var(table, space.slot_of(ref.table), other_column)
+                anti.append(builders.ne(var, join_value))
+            return conds + anti
+
+        # If the sibling constraints conflict (e.g. a sibling is chained
+        # to the join value by another condition), fall back to dropping
+        # them pairwise is overkill — dropping all yields the plain
+        # original dataset, which is redundant; report as skipped instead.
+        out.append(
+            DatasetSpec(
+                group="joincond",
+                target=f"joincond:{pred} anti-coincidence",
+                purpose=(
+                    f"kill wrong-attribute mutants of '{pred}': sibling "
+                    f"columns refuse the joining value"
+                ),
+                build=build,
+            )
+        )
+    return out, []

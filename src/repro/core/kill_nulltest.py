@@ -1,0 +1,56 @@
+"""Datasets for IS [NOT] NULL mutants (the A6-lifting extension).
+
+The mutation space of a null test is its polarity flip.  Two datasets
+separate the pair: the original-query dataset (conjunct satisfied) and
+one *violation* dataset per null test (conjunct inverted, everything
+else satisfied).  On each, exactly one of {original, flipped mutant}
+returns the witness row, so the flip is always killed.
+"""
+
+from __future__ import annotations
+
+from repro.core.analyze import AnalyzedQuery
+from repro.core.spec import DatasetSpec, SkippedTarget
+from repro.core.tuplespace import ProblemSpace
+from repro.solver.terms import Formula
+
+
+def specs(aq: AnalyzedQuery) -> tuple[list[DatasetSpec], list[SkippedTarget]]:
+    """One polarity-flipping dataset spec per IS [NOT] NULL conjunct."""
+    out: list[DatasetSpec] = []
+    skipped: list[SkippedTarget] = []
+    for index, info in enumerate(aq.null_tests):
+        target = f"nulltest:{info.pred} flip"
+        flipped_wants_null = info.pred.negated  # flip of the original
+        if flipped_wants_null:
+            table = aq.schema.table(aq.table_of(info.attr.binding))
+            if not table.column(info.attr.column).nullable:
+                skipped.append(
+                    SkippedTarget(
+                        "nulltest", target,
+                        "structurally-equivalent",
+                    )
+                )
+                continue
+
+        def build(space: ProblemSpace) -> list[Formula]:
+            conds: list[Formula] = []
+            for ec in space.aq.eq_classes:
+                conds.extend(space.eq_class_conditions(ec))
+            for pred_info in space.aq.selections + space.aq.other_joins:
+                conds.append(space.pred_formula(pred_info.pred))
+            return conds
+
+        out.append(
+            DatasetSpec(
+                group="nulltest",
+                target=target,
+                purpose=(
+                    f"kill the IS NULL polarity mutant of '{info.pred}': "
+                    f"dataset where the test is violated"
+                ),
+                build=build,
+                flip_null_tests=frozenset({index}),
+            )
+        )
+    return out, skipped

@@ -1,0 +1,79 @@
+"""killOtherPredicates() — Algorithm 3.
+
+For every non-equijoin join predicate ``p`` (e.g. ``B.x = C.x + 10``) and
+every relation ``r`` participating in it, generate a dataset in which no
+tuple of ``r``'s relation satisfies ``p`` against the other relations'
+tuples (genNotExists), while every equivalence class and every other
+predicate is satisfied so the difference reaches the root.
+
+Selection conjuncts are handled by :mod:`repro.core.kill_comparison`,
+whose "violated" datasets play Algorithm 3's role for selections while
+keeping the total at three datasets per conjunct as Table II reports.
+"""
+
+from __future__ import annotations
+
+from repro.core.analyze import AnalyzedQuery
+from repro.core.spec import DatasetSpec, SkippedTarget
+from repro.core.tuplespace import ProblemSpace
+from repro.sql.ast import ColumnRef, Comparison, comparison_columns
+from repro.solver.terms import Formula
+
+
+def _pred_columns_of_binding(pred: Comparison, binding: str) -> list[str]:
+    return [
+        ref.column
+        for ref in comparison_columns(pred)
+        if isinstance(ref, ColumnRef) and ref.table == binding
+    ]
+
+
+def specs(
+    aq: AnalyzedQuery, groupby_distinct: bool = True
+) -> tuple[list[DatasetSpec], list[SkippedTarget]]:
+    out: list[DatasetSpec] = []
+    for info in aq.other_joins:
+        for binding in sorted(info.bindings):
+            target = f"pred:{info.pred} nullify {binding}"
+            table = aq.table_of(binding)
+            support = [
+                (table, column)
+                for column in _pred_columns_of_binding(info.pred, binding)
+            ]
+
+            def build(
+                space: ProblemSpace, pred=info.pred, binding=binding
+            ) -> list[Formula]:
+                conds: list[Formula] = [space.not_exists_pred(pred, binding)]
+                for ec in space.aq.eq_classes:
+                    conds.extend(space.eq_class_conditions(ec))
+                for other in space.aq.selections + space.aq.other_joins:
+                    if other.pred == pred:
+                        continue
+                    conds.append(space.pred_formula(other.pred))
+                return conds
+
+            relaxations = []
+            if aq.group_by and groupby_distinct:
+                base_build = build
+
+                def with_distinct(space: ProblemSpace, base_build=base_build):
+                    return base_build(space) + space.groupby_distinctness()
+
+                relaxations = [("without group-by distinctness", build)]
+                build = with_distinct
+
+            out.append(
+                DatasetSpec(
+                    group="predicate",
+                    target=target,
+                    purpose=(
+                        f"kill join-type mutants on {info.pred}: no tuple of "
+                        f"{binding} satisfies the condition against the others"
+                    ),
+                    build=build,
+                    support_columns=support,
+                    relaxations=relaxations,
+                )
+            )
+    return out, []

@@ -1,0 +1,65 @@
+"""Dataset specifications: one targeted mutation group each.
+
+Every kill-* procedure emits :class:`DatasetSpec` objects; the generator
+runs them through a common pipeline (allocate slots -> add support slots
+-> emit constraints -> solve -> assemble).  A spec whose constraints are
+unsatisfiable corresponds to an *equivalent* mutation group (the paper's
+Section V-B observation) and is reported, not errored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.tuplespace import ProblemSpace
+from repro.solver.terms import Formula
+
+
+@dataclass
+class DatasetSpec:
+    """A recipe for one dataset.
+
+    Attributes:
+        group: Which procedure produced it ('original', 'eqclass',
+            'predicate', 'comparison', 'aggregate').
+        target: Machine-readable description of the targeted mutation
+            group (e.g. ``ec:{i.id,t.id} nullify t.id``).
+        purpose: Human-readable sentence for test-suite reports.
+        copies: Tuple-set copies per occurrence (3 for aggregation).
+        support_columns: (table, column) pairs whose FK chains need spare
+            referenced tuples (Section V-B).
+        build: Called with the finalized :class:`ProblemSpace`; returns
+            the job-specific constraint formulas.
+        relaxations: Optional fallback builders, tried in order when the
+            primary constraint set is UNSAT (Algorithm 4's
+            drop-inconsistent-sets loop).  Each entry is (note, build).
+    """
+
+    group: str
+    target: str
+    purpose: str
+    build: Callable[[ProblemSpace], list[Formula]]
+    copies: int = 1
+    support_columns: list[tuple[str, str]] = field(default_factory=list)
+    #: Indices into the analyzed query's null_tests whose polarity this
+    #: dataset deliberately inverts (the IS NULL violation datasets).
+    flip_null_tests: frozenset[int] = frozenset()
+    relaxations: list[tuple[str, Callable[[ProblemSpace], list[Formula]]]] = field(
+        default_factory=list
+    )
+
+
+@dataclass
+class SkippedTarget:
+    """A mutation group for which no dataset exists.
+
+    ``reason='structurally-equivalent'`` means the procedure proved the
+    group equivalent without calling the solver (Algorithm 2's empty-P
+    case); ``reason='unsat'`` means the solver found the constraints
+    inconsistent (e.g. a foreign key conflicting with a NOT EXISTS).
+    """
+
+    group: str
+    target: str
+    reason: str

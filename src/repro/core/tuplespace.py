@@ -1,0 +1,317 @@
+"""Tuple-slot allocation and SQL-to-constraint translation.
+
+This is the implementation of the paper's variable scheme (Section V-A):
+each occurrence of a relation maps to an index in a per-base-relation
+array of constraint tuples; ``cvcMap(rel.attr)`` becomes
+``table[index].column``, one solver variable per attribute.  The space can
+grow — extra slots are added to satisfy foreign keys when a referenced
+attribute is nullified (Section V-B), and the aggregation procedure
+allocates three slots per occurrence (Algorithm 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analyze import AnalyzedQuery
+from repro.core.attrs import Attr
+from repro.errors import GenerationError, UnsupportedSqlError
+from repro.solver import builders
+from repro.solver.solver import Solver
+from repro.solver.terms import Formula, Linear
+from repro.sql.ast import BinaryOp, ColumnRef, Comparison, Expr, Literal
+
+
+def slot_var_name(table: str, index: int, column: str) -> str:
+    """Canonical solver-variable name for one attribute of one slot."""
+    return f"{table}[{index}].{column}"
+
+
+def _rotate(values: tuple, index: int) -> tuple:
+    """Rotate a preference tuple by ``index`` positions."""
+    if len(values) < 2:
+        return values
+    shift = index % len(values)
+    return values[shift:] + values[:shift]
+
+
+@dataclass
+class SlotInfo:
+    """Provenance of one tuple slot."""
+
+    table: str
+    index: int
+    reason: str  # 'occurrence:<binding>', 'fk-support', 'agg-set:<k>'
+
+
+class ProblemSpace:
+    """Solver variables + slots for one dataset-generation problem.
+
+    Args:
+        aq: The analyzed query.
+        solver: A fresh :class:`Solver` owned by this problem.
+        copies: Number of slots per occurrence (1 normally, 3 for the
+            aggregation datasets).  Copy ``k`` of binding ``b`` is
+            addressed with ``binding_var(b, col, copy=k)``.
+    """
+
+    def __init__(self, aq: AnalyzedQuery, solver: Solver, copies: int = 1):
+        self.aq = aq
+        self.solver = solver
+        self.copies = copies
+        self.sizes: dict[str, int] = {}
+        self.slots: list[SlotInfo] = []
+        #: (table, slot index, column) triples forced to NULL at assembly
+        #: time — the Section V-H nullable-foreign-key alternative.
+        self.forced_nulls: set[tuple[str, int, str]] = set()
+        # binding -> list of slot indices, one per copy
+        self._binding_slots: dict[str, list[int]] = {}
+        for binding, occ in aq.occurrences.items():
+            indices = []
+            for copy in range(copies):
+                indices.append(self._new_slot(occ.table, f"occurrence:{binding}#{copy}"))
+            self._binding_slots[binding] = indices
+
+    # -- slots ---------------------------------------------------------------
+
+    def _new_slot(self, table: str, reason: str) -> int:
+        index = self.sizes.get(table, 0)
+        self.sizes[table] = index + 1
+        self.slots.append(SlotInfo(table, index, reason))
+        return index
+
+    def add_support_slot(self, table: str) -> int:
+        """Add an extra slot (Section V-B foreign-key support tuple)."""
+        return self._new_slot(table, "fk-support")
+
+    def slot_of(self, binding: str, copy: int = 0) -> int:
+        return self._binding_slots[binding][copy]
+
+    def table_slots(self, table: str) -> range:
+        """All current slot indices of a base table."""
+        return range(self.sizes.get(table, 0))
+
+    def in_query(self, table: str) -> bool:
+        return self.sizes.get(table, 0) > 0
+
+    # -- variables ------------------------------------------------------------
+
+    def var(self, table: str, index: int, column: str) -> Linear:
+        """The solver variable for ``table[index].column`` (declared lazily).
+
+        Preferred values are rotated by the slot index so distinct tuples
+        of the same relation lean towards distinct attribute values —
+        generated rows stay mutually distinguishable under projection,
+        and the datasets read like real data rather than repeated rows.
+        """
+        name = slot_var_name(table, index, column)
+        if self.solver.has_var(name):
+            return Linear.of_var(name)
+        schema_col = self.aq.schema.table(table).column(column)
+        if schema_col.sqltype.is_textual:
+            pool = self.aq.pools.pool_of(table, column)
+            own = tuple(str(v) for v in schema_col.domain)
+            pooled = self.aq.pools.preferred_values(table, column)
+            preferred = own + tuple(v for v in pooled if v not in set(own))
+            return self.solver.str_var(name, pool, _rotate(preferred, index))
+        preferred_ints = tuple(
+            int(v) for v in schema_col.domain if isinstance(v, int)
+        )
+        return self.solver.int_var(name, _rotate(preferred_ints, index))
+
+    def attr_var(self, attr: Attr, copy: int = 0) -> Linear:
+        """Variable for an occurrence-level attribute at its current slot."""
+        table = self.aq.table_of(attr.binding)
+        return self.var(table, self.slot_of(attr.binding, copy), attr.column)
+
+    def finalize_declarations(self) -> None:
+        """Declare every attribute of every slot so models decode full rows."""
+        for slot in self.slots:
+            for column in self.aq.schema.table(slot.table).column_names:
+                self.var(slot.table, slot.index, column)
+
+    # -- translation -----------------------------------------------------------
+
+    def _attr_of_ref(self, ref: ColumnRef) -> Attr:
+        if ref.table is None:
+            raise GenerationError(f"unqualified column {ref.column!r} reached the generator")
+        return Attr(ref.table, ref.column)
+
+    def _expr_type(self, expr: Expr) -> str:
+        if isinstance(expr, Literal):
+            return "str" if isinstance(expr.value, str) else "num"
+        if isinstance(expr, ColumnRef):
+            attr = self._attr_of_ref(expr)
+            return "str" if self.aq.attr_type(attr).is_textual else "num"
+        if isinstance(expr, BinaryOp):
+            return "num"
+        raise UnsupportedSqlError(f"unsupported expression {expr}")
+
+    def _numeric_linear(
+        self, expr: Expr, overrides: dict[str, int] | None, copy: int
+    ) -> Linear:
+        """Translate a numeric expression to a Linear.
+
+        ``overrides`` remaps bindings to explicit slot indices (used by the
+        NOT EXISTS instantiation, which sweeps one binding's relation over
+        its whole array).
+        """
+        if isinstance(expr, Literal):
+            if isinstance(expr.value, float):
+                if not expr.value.is_integer():
+                    raise UnsupportedSqlError(
+                        f"non-integer literal {expr.value} in generation constraints"
+                    )
+                return Linear.of_const(int(expr.value))
+            if isinstance(expr.value, str):
+                raise UnsupportedSqlError("string literal in numeric context")
+            return Linear.of_const(int(expr.value))
+        if isinstance(expr, ColumnRef):
+            attr = self._attr_of_ref(expr)
+            table = self.aq.table_of(attr.binding)
+            if overrides and attr.binding in overrides:
+                index = overrides[attr.binding]
+            else:
+                index = self.slot_of(attr.binding, copy)
+            return self.var(table, index, attr.column)
+        if isinstance(expr, BinaryOp):
+            left = self._numeric_linear(expr.left, overrides, copy)
+            right = self._numeric_linear(expr.right, overrides, copy)
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                if not left.coeffs:
+                    return right.scale(left.const)
+                if not right.coeffs:
+                    return left.scale(right.const)
+                raise UnsupportedSqlError(
+                    "products of attributes are not linear; unsupported"
+                )
+            raise UnsupportedSqlError(
+                f"operator {expr.op!r} is unsupported in generation constraints"
+            )
+        raise UnsupportedSqlError(f"unsupported expression {expr}")
+
+    def _string_operand(
+        self, expr: Expr, pool: str, overrides: dict[str, int] | None, copy: int
+    ) -> Linear:
+        if isinstance(expr, Literal) and isinstance(expr.value, str):
+            return Linear.of_const(self.solver.intern(pool, expr.value))
+        if isinstance(expr, ColumnRef):
+            attr = self._attr_of_ref(expr)
+            table = self.aq.table_of(attr.binding)
+            if overrides and attr.binding in overrides:
+                index = overrides[attr.binding]
+            else:
+                index = self.slot_of(attr.binding, copy)
+            return self.var(table, index, attr.column)
+        raise UnsupportedSqlError(f"unsupported string operand {expr}")
+
+    def _string_pool_of(self, pred: Comparison) -> str:
+        for side in (pred.left, pred.right):
+            if isinstance(side, ColumnRef):
+                attr = self._attr_of_ref(side)
+                if self.aq.attr_type(attr).is_textual:
+                    return self.aq.pools.pool_of(
+                        self.aq.table_of(attr.binding), attr.column
+                    )
+        raise UnsupportedSqlError(f"no column operand in string comparison {pred}")
+
+    def pred_formula(
+        self,
+        pred: Comparison,
+        overrides: dict[str, int] | None = None,
+        copy: int = 0,
+        op: str | None = None,
+    ) -> Formula:
+        """Translate a (qualified) SQL comparison into a solver formula.
+
+        Args:
+            pred: The comparison.
+            overrides: Binding -> explicit slot index remapping.
+            copy: Which per-occurrence copy to address (aggregation sets).
+            op: Override the comparison operator (comparison-mutation
+                datasets replace a conjunct's operator with =, < or >).
+        """
+        operator = op or pred.op
+        left_kind = self._expr_type(pred.left)
+        right_kind = self._expr_type(pred.right)
+        if "str" in (left_kind, right_kind):
+            # Rank-preserving interning makes order operators meaningful.
+            pool = self._string_pool_of(pred)
+            left = self._string_operand(pred.left, pool, overrides, copy)
+            right = self._string_operand(pred.right, pool, overrides, copy)
+            return builders.compare(operator, left, right)
+        left = self._numeric_linear(pred.left, overrides, copy)
+        right = self._numeric_linear(pred.right, overrides, copy)
+        return builders.compare(operator, left, right)
+
+    # -- standard constraint groups -------------------------------------------------
+
+    def eq_class_conditions(self, ec: tuple[Attr, ...], copy: int = 0) -> list[Formula]:
+        """generateEqConds(P): chain equalities across class members."""
+        conds: list[Formula] = []
+        for first, second in zip(ec, ec[1:]):
+            conds.append(
+                builders.eq(self.attr_var(first, copy), self.attr_var(second, copy))
+            )
+        return conds
+
+    def not_exists_value(self, table: str, column: str, value: Linear) -> Formula:
+        """``NOT EXISTS i : table[i].column = value`` over the whole array."""
+        instances = [
+            builders.eq(self.var(table, i, column), value)
+            for i in self.table_slots(table)
+        ]
+        return builders.not_exists(instances, f"nullify:{table}.{column}")
+
+    def force_null(self, table: str, index: int, column: str) -> None:
+        """Force ``table[index].column`` to NULL in the assembled dataset.
+
+        The solver has no NULL value; the assembler overrides whatever the
+        model assigned.  Foreign-key constraints over forced-null columns
+        are skipped (a NULL foreign key satisfies the constraint), which
+        :func:`repro.core.dbconstraints.foreign_key_constraints` honours.
+        """
+        self.forced_nulls.add((table, index, column.lower()))
+
+    def groupby_distinctness(self) -> list[Formula]:
+        """Pairwise-distinct group-by values across slots of each relation.
+
+        For queries with aggregation at the root, a join-difference at a
+        node is only visible in the result when the dangling tuple falls
+        into its *own* group; otherwise another tuple with the same
+        group-by values masks it.  These constraints force every slot of a
+        group-by relation into a distinct group.  They can conflict with
+        equivalence classes or the chase, so callers attach them with a
+        relaxation fallback.
+        """
+        conds: list[Formula] = []
+        for attr in self.aq.group_by:
+            table = self.aq.table_of(attr.binding)
+            slots = list(self.table_slots(table))
+            for i, slot_a in enumerate(slots):
+                for slot_b in slots[i + 1:]:
+                    conds.append(
+                        builders.ne(
+                            self.var(table, slot_a, attr.column),
+                            self.var(table, slot_b, attr.column),
+                        )
+                    )
+        return conds
+
+    def not_exists_pred(self, pred: Comparison, binding: str, copy: int = 0) -> Formula:
+        """genNotExists(p, r): no tuple of r's relation satisfies p.
+
+        The swept binding's attributes are instantiated at every slot of
+        its base relation; all other bindings stay at their current slots.
+        """
+        table = self.aq.table_of(binding)
+        instances = []
+        for index in self.table_slots(table):
+            instances.append(
+                self.pred_formula(pred, overrides={binding: index}, copy=copy)
+            )
+        return builders.not_exists(instances, f"nullify:{binding} on {pred}")

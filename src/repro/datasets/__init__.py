@@ -1,0 +1,19 @@
+"""Bundled schemas and sample data used by examples, tests and benchmarks."""
+
+from repro.datasets.university import (
+    FK_EDGES,
+    UNIVERSITY_QUERIES,
+    schema_with_fks,
+    university_queries,
+    university_sample_database,
+    university_schema,
+)
+
+__all__ = [
+    "FK_EDGES",
+    "UNIVERSITY_QUERIES",
+    "schema_with_fks",
+    "university_schema",
+    "university_sample_database",
+    "university_queries",
+]

@@ -1,0 +1,473 @@
+"""The university schema of Silberschatz, Korth & Sudarshan, as adapted
+by the paper.
+
+The paper says "the schema used was a slightly modified version of the
+University schema of [27]".  The modification we apply (and document in
+DESIGN.md) flattens composite keys so that every join edge used by the
+benchmark queries is a single-attribute equi-join with an optional
+single-column foreign key — which is exactly the structure the paper's
+Table I experiments need when they vary the number of foreign keys from
+0 up to 6 on a 7-relation chain query.
+
+Value domains are enumerated so the solver produces intuitive values
+(real department names, plausible years) rather than bare integers.
+"""
+
+from __future__ import annotations
+
+from repro.engine.database import Database
+from repro.schema.catalog import Column, ForeignKey, Schema, Table
+from repro.schema.types import SqlType
+
+DEPT_NAMES = ("CS", "Biology", "Physics", "Finance", "History", "Music", "Elec_Eng")
+BUILDINGS = ("Taylor", "Watson", "Painter", "Packard", "Garfield")
+SEMESTERS = ("Spring", "Summer", "Fall")
+GRADES = ("A", "A-", "B+", "B", "C", "F")
+TITLES = (
+    "Intro_to_Biology",
+    "Genetics",
+    "Computational_Biology",
+    "Intro_to_Computer_Science",
+    "Game_Design",
+    "Robotics",
+    "Image_Processing",
+    "Database_System_Concepts",
+    "Investment_Banking",
+    "World_History",
+    "Music_Video_Production",
+    "Physical_Principles",
+)
+PERSON_NAMES = (
+    "Srinivasan", "Wu", "Mozart", "Einstein", "El_Said", "Gold", "Katz",
+    "Califieri", "Singh", "Crick", "Brandt", "Kim", "Shankar", "Zhang",
+    "Tanaka", "Levy", "Williams", "Sanchez", "Snow", "Bourikas", "Aoi",
+)
+
+
+def university_schema(allow_nullable_fks: bool = False) -> Schema:
+    """Build the adapted university schema.
+
+    Foreign keys are declared in a deliberate order so that
+    ``Schema.restrict_foreign_keys`` can reproduce each Table I row's
+    foreign-key count by keeping a prefix of the declarations on the
+    query's relations.
+    """
+    department = Table(
+        "department",
+        [
+            Column("dept_name", SqlType.VARCHAR, domain=DEPT_NAMES),
+            Column("building", SqlType.VARCHAR, domain=BUILDINGS),
+            Column("budget", SqlType.INT),
+        ],
+        primary_key=("dept_name",),
+        foreign_keys=[
+            ForeignKey("department", ("building",), "classroom", ("building",)),
+        ],
+    )
+    # Adapted: classroom is keyed by building alone so that
+    # department.building can reference it with a single-column foreign key
+    # (the Q6 benchmark row needs this edge; see DESIGN.md).
+    classroom = Table(
+        "classroom",
+        [
+            Column("building", SqlType.VARCHAR, domain=BUILDINGS),
+            Column("room_number", SqlType.INT),
+            Column("capacity", SqlType.INT),
+        ],
+        primary_key=("building",),
+    )
+    course = Table(
+        "course",
+        [
+            Column("course_id", SqlType.INT),
+            Column("title", SqlType.VARCHAR, domain=TITLES),
+            Column("dept_name", SqlType.VARCHAR, domain=DEPT_NAMES),
+            Column("credits", SqlType.INT),
+        ],
+        primary_key=("course_id",),
+        foreign_keys=[
+            ForeignKey("course", ("dept_name",), "department", ("dept_name",)),
+        ],
+    )
+    instructor = Table(
+        "instructor",
+        [
+            Column("id", SqlType.INT),
+            Column("name", SqlType.VARCHAR, domain=PERSON_NAMES),
+            Column("dept_name", SqlType.VARCHAR, domain=DEPT_NAMES),
+            Column("salary", SqlType.INT),
+        ],
+        primary_key=("id",),
+        foreign_keys=[
+            ForeignKey("instructor", ("dept_name",), "department", ("dept_name",)),
+        ],
+    )
+    teaches = Table(
+        "teaches",
+        [
+            Column("id", SqlType.INT),
+            Column("course_id", SqlType.INT),
+            Column("sec_id", SqlType.INT),
+            Column("semester", SqlType.VARCHAR, domain=SEMESTERS),
+            Column("year", SqlType.INT),
+        ],
+        primary_key=("id", "course_id"),
+        foreign_keys=[
+            ForeignKey("teaches", ("id",), "instructor", ("id",)),
+            ForeignKey("teaches", ("course_id",), "course", ("course_id",)),
+        ],
+    )
+    student = Table(
+        "student",
+        [
+            Column("id", SqlType.INT),
+            Column("name", SqlType.VARCHAR, domain=PERSON_NAMES),
+            Column("dept_name", SqlType.VARCHAR, domain=DEPT_NAMES),
+            Column("tot_cred", SqlType.INT),
+        ],
+        primary_key=("id",),
+        foreign_keys=[
+            ForeignKey("student", ("dept_name",), "department", ("dept_name",)),
+        ],
+    )
+    takes = Table(
+        "takes",
+        [
+            Column("id", SqlType.INT),
+            Column("course_id", SqlType.INT),
+            Column("grade", SqlType.VARCHAR, domain=GRADES),
+        ],
+        primary_key=("id", "course_id"),
+        foreign_keys=[
+            ForeignKey("takes", ("id",), "student", ("id",)),
+            ForeignKey("takes", ("course_id",), "course", ("course_id",)),
+        ],
+    )
+    advisor = Table(
+        "advisor",
+        [
+            Column("s_id", SqlType.INT),
+            Column("i_id", SqlType.INT),
+        ],
+        primary_key=("s_id",),
+        foreign_keys=[
+            ForeignKey("advisor", ("s_id",), "student", ("id",)),
+            ForeignKey("advisor", ("i_id",), "instructor", ("id",)),
+        ],
+    )
+    prereq = Table(
+        "prereq",
+        [
+            Column("course_id", SqlType.INT),
+            Column("prereq_id", SqlType.INT),
+        ],
+        primary_key=("course_id", "prereq_id"),
+        foreign_keys=[
+            ForeignKey("prereq", ("course_id",), "course", ("course_id",)),
+            ForeignKey("prereq", ("prereq_id",), "course", ("course_id",)),
+        ],
+    )
+    return Schema(
+        [department, classroom, course, instructor, teaches, student, takes,
+         advisor, prereq],
+        allow_nullable_fks=allow_nullable_fks,
+    )
+
+
+def university_sample_database(schema: Schema | None = None) -> Database:
+    """A small consistent sample instance (the paper's "input database")."""
+    db = Database(schema or university_schema())
+    db.insert_rows(
+        "department",
+        [
+            ("CS", "Taylor", 100000),
+            ("Biology", "Watson", 90000),
+            ("Physics", "Watson", 70000),
+            ("Finance", "Painter", 120000),
+            ("History", "Painter", 50000),
+            ("Music", "Packard", 80000),
+        ],
+    )
+    db.insert_rows(
+        "classroom",
+        [
+            ("Taylor", 3128, 70),
+            ("Watson", 100, 30),
+            ("Painter", 514, 10),
+            ("Packard", 101, 500),
+        ],
+    )
+    db.insert_rows(
+        "course",
+        [
+            (101, "Intro_to_Computer_Science", "CS", 4),
+            (190, "Game_Design", "CS", 4),
+            (315, "Robotics", "CS", 3),
+            (347, "Database_System_Concepts", "CS", 3),
+            (301, "Genetics", "Biology", 4),
+            (201, "Investment_Banking", "Finance", 3),
+            (351, "World_History", "History", 3),
+        ],
+    )
+    db.insert_rows(
+        "instructor",
+        [
+            (10101, "Srinivasan", "CS", 65000),
+            (12121, "Wu", "Finance", 90000),
+            (15151, "Mozart", "Music", 40000),
+            (22222, "Einstein", "Physics", 95000),
+            (32343, "El_Said", "History", 60000),
+            (45565, "Katz", "CS", 75000),
+            (76766, "Crick", "Biology", 72000),
+        ],
+    )
+    db.insert_rows(
+        "teaches",
+        [
+            (10101, 101, 1, "Fall", 2009),
+            (10101, 347, 1, "Fall", 2009),
+            (45565, 315, 1, "Spring", 2010),
+            (76766, 301, 1, "Summer", 2009),
+            (12121, 201, 2, "Spring", 2010),
+        ],
+    )
+    db.insert_rows(
+        "student",
+        [
+            (128, "Zhang", "CS", 102),
+            (12345, "Shankar", "CS", 32),
+            (19991, "Brandt", "History", 80),
+            (23121, "Sanchez", "Finance", 110),
+            (44553, "Levy", "Physics", 56),
+            (98765, "Bourikas", "CS", 98),
+        ],
+    )
+    db.insert_rows(
+        "takes",
+        [
+            (128, 101, "A"),
+            (128, 347, "A-"),
+            (12345, 101, "C"),
+            (12345, 315, "A"),
+            (19991, 351, "B"),
+            (98765, 101, "C"),
+        ],
+    )
+    db.insert_rows(
+        "advisor",
+        [
+            (128, 45565),
+            (12345, 10101),
+            (23121, 12121),
+            (44553, 22222),
+        ],
+    )
+    db.insert_rows(
+        "prereq",
+        [
+            (347, 101),
+            (315, 101),
+        ],
+    )
+    db.validate()
+    return db
+
+
+# Named single-column foreign keys used by the Table I/II experiment rows.
+FK_EDGES: dict[str, tuple[str, str, str, str]] = {
+    "teaches.id": ("teaches", "id", "instructor", "id"),
+    "teaches.course_id": ("teaches", "course_id", "course", "course_id"),
+    "takes.id": ("takes", "id", "student", "id"),
+    "takes.course_id": ("takes", "course_id", "course", "course_id"),
+    "course.dept_name": ("course", "dept_name", "department", "dept_name"),
+    "instructor.dept_name": ("instructor", "dept_name", "department", "dept_name"),
+    "student.dept_name": ("student", "dept_name", "department", "dept_name"),
+    "department.building": ("department", "building", "classroom", "building"),
+    "advisor.s_id": ("advisor", "s_id", "student", "id"),
+    "advisor.i_id": ("advisor", "i_id", "instructor", "id"),
+}
+
+#: Benchmark queries.  Q1-Q6 are the Table I inner-join chain queries
+#: (1-6 joins over 2-7 relations); Q7-Q12 are the Table II queries with
+#: selections and aggregations.  ``fk_rows`` lists, per Table I row, the
+#: exact foreign keys present in the schema for that row (by FK_EDGES
+#: name); with these subsets the generated dataset counts match Table I's
+#: "#Datasets Generated" column exactly (see EXPERIMENTS.md).
+UNIVERSITY_QUERIES: dict[str, dict] = {
+    "Q1": {
+        "sql": "SELECT * FROM instructor i, teaches t WHERE i.id = t.id",
+        "joins": 1,
+        "relations": ["instructor", "teaches"],
+        "fk_rows": [[], ["teaches.id"]],
+    },
+    "Q2": {
+        "sql": (
+            "SELECT * FROM instructor i, teaches t, course c "
+            "WHERE i.id = t.id AND t.course_id = c.course_id"
+        ),
+        "joins": 2,
+        "relations": ["instructor", "teaches", "course"],
+        "fk_rows": [[], ["teaches.id"], ["teaches.id", "teaches.course_id"]],
+    },
+    "Q3": {
+        "sql": (
+            "SELECT * FROM instructor i, teaches t, course c, department d "
+            "WHERE i.id = t.id AND t.course_id = c.course_id "
+            "AND c.dept_name = d.dept_name"
+        ),
+        "joins": 3,
+        "relations": ["instructor", "teaches", "course", "department"],
+        "fk_rows": [
+            [],
+            ["teaches.id"],
+            ["teaches.id", "teaches.course_id", "course.dept_name",
+             "instructor.dept_name"],
+        ],
+    },
+    "Q4": {
+        "sql": (
+            "SELECT * FROM student s, takes k, course c, teaches t, instructor i "
+            "WHERE s.id = k.id AND k.course_id = c.course_id "
+            "AND c.course_id = t.course_id AND t.id = i.id"
+        ),
+        "joins": 4,
+        "relations": ["student", "takes", "course", "teaches", "instructor"],
+        "fk_rows": [
+            [],
+            ["takes.id", "takes.course_id", "teaches.course_id", "teaches.id"],
+        ],
+    },
+    "Q5": {
+        "sql": (
+            "SELECT * FROM student s, takes k, course c, teaches t, "
+            "instructor i, department d "
+            "WHERE s.id = k.id AND k.course_id = c.course_id "
+            "AND c.course_id = t.course_id AND t.id = i.id "
+            "AND i.dept_name = d.dept_name"
+        ),
+        "joins": 5,
+        "relations": [
+            "student", "takes", "course", "teaches", "instructor", "department",
+        ],
+        "fk_rows": [
+            [],
+            ["takes.id", "takes.course_id", "teaches.course_id", "teaches.id"],
+        ],
+    },
+    "Q6": {
+        "sql": (
+            "SELECT * FROM classroom cl, department d, instructor i, teaches t, "
+            "course c, takes k, student s "
+            "WHERE cl.building = d.building AND d.dept_name = i.dept_name "
+            "AND i.id = t.id AND t.course_id = c.course_id "
+            "AND c.course_id = k.course_id AND k.id = s.id"
+        ),
+        "joins": 6,
+        "relations": [
+            "classroom", "department", "instructor", "teaches", "course",
+            "takes", "student",
+        ],
+        "fk_rows": [
+            [],
+            ["department.building", "instructor.dept_name", "teaches.id",
+             "teaches.course_id", "takes.course_id", "takes.id"],
+        ],
+    },
+    "Q7": {
+        "sql": "SELECT * FROM instructor i WHERE i.salary > 70000",
+        "joins": 0,
+        "selections": 1,
+        "aggregations": 0,
+        "relations": ["instructor"],
+        "fk_rows": [[]],
+    },
+    "Q8": {
+        "sql": (
+            "SELECT i.dept_name, SUM(i.salary) FROM instructor i "
+            "GROUP BY i.dept_name"
+        ),
+        "joins": 0,
+        "selections": 0,
+        "aggregations": 1,
+        "relations": ["instructor"],
+        "fk_rows": [[]],
+    },
+    "Q9": {
+        "sql": (
+            "SELECT i.dept_name, COUNT(t.course_id) "
+            "FROM instructor i, teaches t WHERE i.id = t.id "
+            "GROUP BY i.dept_name"
+        ),
+        "joins": 1,
+        "selections": 0,
+        "aggregations": 1,
+        "relations": ["instructor", "teaches"],
+        "fk_rows": [["teaches.id"]],
+    },
+    "Q10": {
+        "sql": (
+            "SELECT * FROM instructor i, teaches t, course c "
+            "WHERE i.id = t.id AND t.course_id = c.course_id "
+            "AND c.credits > 3"
+        ),
+        "joins": 2,
+        "selections": 1,
+        "aggregations": 0,
+        "relations": ["instructor", "teaches", "course"],
+        "fk_rows": [["teaches.id"]],
+    },
+    "Q11": {
+        "sql": (
+            "SELECT * FROM instructor i, teaches t, course c "
+            "WHERE i.id = t.id AND t.course_id = c.course_id "
+            "AND c.credits > 3 AND i.salary < 80000"
+        ),
+        "joins": 2,
+        "selections": 2,
+        "aggregations": 0,
+        "relations": ["instructor", "teaches", "course"],
+        "fk_rows": [["teaches.id"]],
+    },
+    "Q12": {
+        "sql": (
+            "SELECT c.dept_name, SUM(i.salary) "
+            "FROM instructor i, teaches t, course c "
+            "WHERE i.id = t.id AND t.course_id = c.course_id "
+            "AND c.credits > 3 "
+            "GROUP BY c.dept_name"
+        ),
+        "joins": 2,
+        "selections": 1,
+        "aggregations": 1,
+        "relations": ["instructor", "teaches", "course"],
+        "fk_rows": [["teaches.id"]],
+    },
+}
+
+
+def schema_with_fks(fk_names: list[str], base: Schema | None = None) -> Schema:
+    """The university schema with exactly the named foreign keys.
+
+    ``fk_names`` are keys of :data:`FK_EDGES`.  This reproduces the Table I
+    methodology of varying the number of foreign-key constraints from 0 up
+    to the number originally present.
+    """
+    wanted = {FK_EDGES[name] for name in fk_names}
+    source = base or university_schema()
+    tables = []
+    for table in source.tables:
+        fks = [
+            fk
+            for fk in table.foreign_keys
+            if len(fk.columns) == 1
+            and (fk.table, fk.columns[0], fk.ref_table, fk.ref_columns[0]) in wanted
+        ]
+        tables.append(
+            Table(table.name, list(table.columns), table.primary_key, fks)
+        )
+    return Schema(tables, allow_nullable_fks=source.allow_nullable_fks)
+
+
+def university_queries() -> dict[str, dict]:
+    """The benchmark query battery (copy)."""
+    return {name: dict(info) for name, info in UNIVERSITY_QUERIES.items()}

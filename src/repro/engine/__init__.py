@@ -1,0 +1,39 @@
+"""In-memory relational engine with full SQL join and NULL semantics.
+
+The paper executes the original query and every mutant against each
+generated dataset on a real DBMS to determine kills; this package is that
+substrate.  It implements bag semantics, three-valued logic for NULLs,
+inner/left/right/full/natural joins, and the aggregate operators of the
+mutation space with exact rational arithmetic (AVG returns
+:class:`fractions.Fraction`), so differential comparison of query results
+is never confounded by floating-point rounding.
+"""
+
+from repro.engine.database import Database
+from repro.engine.executor import execute_plan, execute_query
+from repro.engine.integrity import check_integrity
+from repro.engine.plan import (
+    AggregateNode,
+    JoinNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SelectNode,
+    compile_query,
+)
+from repro.engine.relation import Relation
+
+__all__ = [
+    "Database",
+    "Relation",
+    "execute_plan",
+    "execute_query",
+    "check_integrity",
+    "compile_query",
+    "PlanNode",
+    "ScanNode",
+    "SelectNode",
+    "JoinNode",
+    "ProjectNode",
+    "AggregateNode",
+]

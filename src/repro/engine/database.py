@@ -1,0 +1,102 @@
+"""Database: a schema-bound collection of relations."""
+
+from __future__ import annotations
+
+from repro.errors import CatalogError, ExecutionError
+from repro.engine.relation import Relation
+from repro.schema.catalog import Schema
+
+
+class Database:
+    """A database instance: one :class:`Relation` per schema table.
+
+    Tables start empty; insert rows with :meth:`insert` (positional tuples)
+    or :meth:`insert_dict`.  Integrity is *not* enforced on insert — a test
+    dataset under construction may be temporarily inconsistent — call
+    :func:`repro.engine.integrity.check_integrity` (or :meth:`validate`)
+    to verify PK/FK constraints.
+    """
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._relations: dict[str, Relation] = {
+            table.name: Relation(list(table.column_names))
+            for table in schema.tables
+        }
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no table {name!r} in database") from None
+
+    @property
+    def table_names(self) -> list[str]:
+        return list(self._relations)
+
+    def insert(self, table: str, row: tuple) -> None:
+        """Insert a positional row into ``table``."""
+        self.relation(table).add(tuple(row))
+
+    def insert_dict(self, table: str, values: dict) -> None:
+        """Insert a row given as a column->value mapping.
+
+        Missing columns become NULL; unknown columns are an error.
+        """
+        relation = self.relation(table)
+        known = set(relation.columns)
+        unknown = {k.lower() for k in values} - known
+        if unknown:
+            raise ExecutionError(f"unknown columns for {table}: {sorted(unknown)}")
+        lowered = {k.lower(): v for k, v in values.items()}
+        relation.add(tuple(lowered.get(c) for c in relation.columns))
+
+    def insert_rows(self, table: str, rows) -> None:
+        """Insert many positional rows."""
+        for row in rows:
+            self.insert(table, row)
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.IntegrityError` on any PK/FK violation."""
+        from repro.engine.integrity import check_integrity
+
+        check_integrity(self)
+
+    def is_empty(self) -> bool:
+        return all(len(rel) == 0 for rel in self._relations.values())
+
+    def total_rows(self) -> int:
+        """Total number of rows across all relations (dataset size metric)."""
+        return sum(len(rel) for rel in self._relations.values())
+
+    def copy(self) -> "Database":
+        """A deep-enough copy: rows are immutable tuples, lists are fresh."""
+        clone = Database(self.schema)
+        for name, relation in self._relations.items():
+            clone._relations[name] = Relation(
+                list(relation.columns), list(relation.rows)
+            )
+        return clone
+
+    def pretty(self, only_nonempty: bool = True) -> str:
+        """Human-readable rendering of the instance, for test-case review.
+
+        The paper stresses that generated datasets must be small and
+        intuitive because a human inspects each one; this is the format the
+        CLI and examples print.
+        """
+        blocks: list[str] = []
+        for name, relation in self._relations.items():
+            if only_nonempty and not relation.rows:
+                continue
+            header = ", ".join(relation.columns)
+            lines = [f"{name}({header})"]
+            for row in relation.rows:
+                rendered = ", ".join("NULL" if v is None else str(v) for v in row)
+                lines.append(f"  ({rendered})")
+            blocks.append("\n".join(lines))
+        return "\n".join(blocks) if blocks else "(empty database)"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = {n: len(r) for n, r in self._relations.items() if len(r)}
+        return f"Database({sizes})"

@@ -1,0 +1,120 @@
+"""Expression and predicate evaluation over frame rows."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import ExecutionError
+from repro.engine.frame import Frame
+from repro.engine.values import TruthValue, sql_and, sql_arith, sql_compare
+from repro.sql.ast import (
+    Aggregate,
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    Literal,
+    Star,
+)
+
+
+def eval_scalar(expr: Expr, frame: Frame, row: tuple):
+    """Evaluate a non-aggregate scalar expression against one row."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        return row[frame.resolve(expr.table, expr.column)]
+    if isinstance(expr, BinaryOp):
+        left = eval_scalar(expr.left, frame, row)
+        right = eval_scalar(expr.right, frame, row)
+        return sql_arith(expr.op, left, right)
+    if isinstance(expr, Aggregate):
+        raise ExecutionError("aggregate used outside an aggregation context")
+    if isinstance(expr, Star):
+        raise ExecutionError("* is only valid in a select list or COUNT(*)")
+    raise ExecutionError(f"cannot evaluate expression {expr!r}")
+
+
+def eval_comparison(pred, frame: Frame, row: tuple) -> TruthValue:
+    """Evaluate one comparison or null test with 3-valued logic.
+
+    IS [NOT] NULL is total: it never yields UNKNOWN.
+    """
+    from repro.sql.ast import NullTest
+
+    if isinstance(pred, NullTest):
+        value = eval_scalar(pred.expr, frame, row)
+        return (value is not None) if pred.negated else (value is None)
+    left = eval_scalar(pred.left, frame, row)
+    right = eval_scalar(pred.right, frame, row)
+    return sql_compare(pred.op, left, right)
+
+
+def eval_conjunction(preds, frame: Frame, row: tuple) -> TruthValue:
+    """Evaluate an AND of comparisons (empty conjunction is TRUE)."""
+    result: TruthValue = True
+    for pred in preds:
+        result = sql_and(result, eval_comparison(pred, frame, row))
+        if result is False:
+            return False
+    return result
+
+
+def eval_aggregate(agg: Aggregate, frame: Frame, rows: list[tuple]):
+    """Evaluate one aggregate over a group of rows.
+
+    NULL inputs are ignored (SQL semantics).  COUNT(*) counts rows.
+    AVG returns an exact :class:`fractions.Fraction`.  On an empty group
+    COUNT returns 0 and everything else returns NULL.
+    """
+    if isinstance(agg.arg, Star):
+        if agg.func != "COUNT":
+            raise ExecutionError(f"{agg.func}(*) is not valid SQL")
+        return len(rows)
+    values = []
+    for row in rows:
+        value = eval_scalar(agg.arg, frame, row)
+        if value is not None:
+            values.append(value)
+    if agg.distinct:
+        deduped = []
+        seen = set()
+        for value in values:
+            if value not in seen:
+                seen.add(value)
+                deduped.append(value)
+        values = deduped
+    if agg.func == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if agg.func == "MIN":
+        return min(values)
+    if agg.func == "MAX":
+        return max(values)
+    if agg.func == "SUM":
+        total = sum(values)
+        return int(total) if isinstance(total, Fraction) and total.denominator == 1 else total
+    if agg.func == "AVG":
+        total = Fraction(sum(Fraction(v) for v in values), len(values))
+        return int(total) if total.denominator == 1 else total
+    raise ExecutionError(f"unknown aggregate {agg.func!r}")
+
+
+def eval_select_expr(expr: Expr, frame: Frame, rows: list[tuple]):
+    """Evaluate a select-list expression in an aggregation context.
+
+    ``expr`` may mix aggregates with group-by columns and arithmetic, e.g.
+    ``SUM(x) / COUNT(x) + 1``.  Non-aggregate column references take their
+    value from the first row of the group (all rows agree on group-by
+    columns by construction).
+    """
+    if isinstance(expr, Aggregate):
+        return eval_aggregate(expr, frame, rows)
+    if isinstance(expr, BinaryOp):
+        left = eval_select_expr(expr.left, frame, rows)
+        right = eval_select_expr(expr.right, frame, rows)
+        return sql_arith(expr.op, left, right)
+    if not rows:
+        return None
+    return eval_scalar(expr, frame, rows[0])

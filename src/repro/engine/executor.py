@@ -1,0 +1,288 @@
+"""Plan execution: frames in, relation out.
+
+Nested-loop joins everywhere — generated datasets are tiny by design (the
+paper's key usability claim), so clarity wins over asymptotics.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError
+from repro.engine.database import Database
+from repro.engine.eval_expr import (
+    eval_comparison,
+    eval_conjunction,
+    eval_scalar,
+    eval_select_expr,
+)
+from repro.engine.frame import Frame, FrameCol
+from repro.engine.plan import (
+    AggregateNode,
+    JoinNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SelectNode,
+    compile_query,
+)
+from repro.engine.relation import Relation
+from repro.engine.values import normalize_value
+from repro.sql.ast import JoinKind, Query, SelectItem, Star
+
+
+def execute_query(query: Query, db: Database) -> Relation:
+    """Compile and execute a parsed query against ``db``."""
+    return execute_plan(compile_query(query), db)
+
+
+def execute_plan(plan: PlanNode, db: Database) -> Relation:
+    """Execute a plan against ``db`` and return the result relation."""
+    if isinstance(plan, (ProjectNode, AggregateNode)):
+        return _finalize(plan, db)
+    # A bare algebra tree (no projection) — return all frame columns.
+    frame = _run(plan, db)
+    names = _unique_names(
+        [
+            col.name if col.binding is None else f"{col.binding}.{col.name}"
+            for col in frame.header
+        ]
+    )
+    return Relation(names, [tuple(normalize_value(v) for v in row) for row in frame.rows])
+
+
+# ---------------------------------------------------------------------------
+# Frame pipeline
+# ---------------------------------------------------------------------------
+
+
+def _run(plan: PlanNode, db: Database) -> Frame:
+    if isinstance(plan, ScanNode):
+        return _scan(plan, db)
+    if isinstance(plan, SelectNode):
+        child = _run(plan.child, db)
+        rows = [
+            row
+            for row in child.rows
+            if eval_conjunction(plan.predicates, child, row) is True
+        ]
+        return Frame(child.header, rows)
+    if isinstance(plan, JoinNode):
+        return _join(plan, db)
+    raise ExecutionError(f"unexpected plan node in pipeline: {plan!r}")
+
+
+def _scan(plan: ScanNode, db: Database) -> Frame:
+    relation = db.relation(plan.table)
+    header = [
+        FrameCol(plan.binding, name, ((plan.binding, name),))
+        for name in relation.columns
+    ]
+    return Frame(header, list(relation.rows))
+
+
+def _join(plan: JoinNode, db: Database) -> Frame:
+    left = _run(plan.left, db)
+    right = _run(plan.right, db)
+    if plan.natural:
+        return _natural_join(plan.kind, left, right)
+    header = list(left.header) + list(right.header)
+    combined = Frame(header)
+    n_left = len(left.header)
+    n_right = len(right.header)
+    rows: list[tuple] = []
+    left_matched = [False] * len(left.rows)
+    right_matched = [False] * len(right.rows)
+    for i, lrow in enumerate(left.rows):
+        for j, rrow in enumerate(right.rows):
+            row = lrow + rrow
+            ok = (
+                True
+                if plan.kind is JoinKind.CROSS
+                else eval_conjunction(plan.condition, combined, row) is True
+            )
+            if ok:
+                rows.append(row)
+                left_matched[i] = True
+                right_matched[j] = True
+    if plan.kind in (JoinKind.LEFT, JoinKind.FULL):
+        for i, lrow in enumerate(left.rows):
+            if not left_matched[i]:
+                rows.append(lrow + (None,) * n_right)
+    if plan.kind in (JoinKind.RIGHT, JoinKind.FULL):
+        for j, rrow in enumerate(right.rows):
+            if not right_matched[j]:
+                rows.append((None,) * n_left + rrow)
+    return Frame(header, rows)
+
+
+def _natural_join(kind: JoinKind, left: Frame, right: Frame) -> Frame:
+    """NATURAL join: equate common column names, coalesce them in the output."""
+    left_names = [col.name for col in left.header]
+    right_names = [col.name for col in right.header]
+    common = [name for name in left_names if name in set(right_names)]
+    left_common = [left.resolve(None, name) for name in common]
+    right_common = [right.resolve(None, name) for name in common]
+    header: list[FrameCol] = []
+    for name, li, ri in zip(common, left_common, right_common):
+        sources = left.header[li].sources + right.header[ri].sources
+        header.append(FrameCol(None, name, sources))
+    left_rest = [i for i in range(len(left.header)) if i not in set(left_common)]
+    right_rest = [i for i in range(len(right.header)) if i not in set(right_common)]
+    header.extend(left.header[i] for i in left_rest)
+    header.extend(right.header[i] for i in right_rest)
+
+    def merged(lrow, rrow) -> tuple:
+        values = [lrow[li] for li in left_common]
+        values.extend(lrow[i] for i in left_rest)
+        values.extend(rrow[i] for i in right_rest)
+        return tuple(values)
+
+    rows: list[tuple] = []
+    left_matched = [False] * len(left.rows)
+    right_matched = [False] * len(right.rows)
+    for i, lrow in enumerate(left.rows):
+        for j, rrow in enumerate(right.rows):
+            match = True
+            for li, ri in zip(left_common, right_common):
+                lv, rv = lrow[li], rrow[ri]
+                if lv is None or rv is None or lv != rv:
+                    match = False
+                    break
+            if match:
+                rows.append(merged(lrow, rrow))
+                left_matched[i] = True
+                right_matched[j] = True
+    if kind in (JoinKind.LEFT, JoinKind.FULL):
+        for i, lrow in enumerate(left.rows):
+            if not left_matched[i]:
+                values = [lrow[li] for li in left_common]
+                values.extend(lrow[k] for k in left_rest)
+                values.extend([None] * len(right_rest))
+                rows.append(tuple(values))
+    if kind in (JoinKind.RIGHT, JoinKind.FULL):
+        for j, rrow in enumerate(right.rows):
+            if not right_matched[j]:
+                values = [rrow[ri] for ri in right_common]
+                values.extend([None] * len(left_rest))
+                values.extend(rrow[k] for k in right_rest)
+                rows.append(tuple(values))
+    return Frame(header, rows)
+
+
+# ---------------------------------------------------------------------------
+# Final projection / aggregation
+# ---------------------------------------------------------------------------
+
+
+def _finalize(plan: ProjectNode | AggregateNode, db: Database) -> Relation:
+    frame = _run(plan.child, db)
+    if isinstance(plan, ProjectNode):
+        return _project(plan, frame)
+    return _aggregate(plan, frame)
+
+
+def _expand_items(
+    items: tuple[SelectItem, ...], frame: Frame
+) -> list[tuple[str, object]]:
+    """Expand ``*`` / ``t.*`` into (output name, column index or expr) pairs.
+
+    Star columns are named by their qualified source so results of different
+    join orders stay comparable column-by-column.
+    """
+    expanded: list[tuple[str, object]] = []
+    for item in items:
+        expr = item.expr
+        if isinstance(expr, Star):
+            indices = (
+                frame.columns_of_binding(expr.table)
+                if expr.table
+                else range(len(frame.header))
+            )
+            if expr.table and not indices:
+                raise ExecutionError(f"no columns for {expr.table}.*")
+            for i in indices:
+                col = frame.header[i]
+                name = (
+                    col.name if col.binding is None else f"{col.binding}.{col.name}"
+                )
+                expanded.append((name, i))
+        else:
+            name = item.alias or str(expr)
+            expanded.append((name, expr))
+    return expanded
+
+
+def _unique_names(names: list[str]) -> list[str]:
+    seen: dict[str, int] = {}
+    out = []
+    for name in names:
+        count = seen.get(name, 0)
+        seen[name] = count + 1
+        out.append(name if count == 0 else f"{name}#{count + 1}")
+    return out
+
+
+def _project(plan: ProjectNode, frame: Frame) -> Relation:
+    expanded = _expand_items(plan.items, frame)
+    names = _unique_names([name for name, _ in expanded])
+    rows: list[tuple] = []
+    for row in frame.rows:
+        values = []
+        for _, source in expanded:
+            if isinstance(source, int):
+                values.append(normalize_value(row[source]))
+            else:
+                values.append(normalize_value(eval_scalar(source, frame, row)))
+        rows.append(tuple(values))
+    if plan.distinct:
+        deduped: list[tuple] = []
+        seen: set[tuple] = set()
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                deduped.append(row)
+        rows = deduped
+    return Relation(names, rows)
+
+
+def _aggregate(plan: AggregateNode, frame: Frame) -> Relation:
+    group_idx = [frame.resolve(col.table, col.column) for col in plan.group_by]
+    groups: dict[tuple, list[tuple]] = {}
+    order: list[tuple] = []
+    for row in frame.rows:
+        key = tuple(row[i] for i in group_idx)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+    if not plan.group_by and not order:
+        order.append(())
+        groups[()] = []
+    names = _unique_names(
+        [item.alias or str(item.expr) for item in plan.items]
+    )
+    rows = []
+    for key in order:
+        group_rows = groups[key]
+        if not _having_holds(plan.having, frame, group_rows):
+            continue
+        values = []
+        for item in plan.items:
+            if isinstance(item.expr, Star):
+                raise ExecutionError("SELECT * cannot be mixed with GROUP BY")
+            values.append(
+                normalize_value(eval_select_expr(item.expr, frame, group_rows))
+            )
+        rows.append(tuple(values))
+    return Relation(names, rows)
+
+
+def _having_holds(having, frame: Frame, group_rows: list[tuple]) -> bool:
+    """Evaluate HAVING conjuncts over one group (3VL: only TRUE keeps)."""
+    from repro.engine.values import sql_compare
+
+    for pred in having:
+        left = eval_select_expr(pred.left, frame, group_rows)
+        right = eval_select_expr(pred.right, frame, group_rows)
+        if sql_compare(pred.op, left, right) is not True:
+            return False
+    return True

@@ -1,0 +1,129 @@
+"""Export and import database instances: SQL INSERT scripts and CSV.
+
+Generated datasets are only useful if they can be loaded into the system
+under test; this module renders a :class:`Database` as standard INSERT
+statements (orderable by foreign-key dependencies so plain ``psql -f``
+works) and round-trips per-table CSV files for fixture directories.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.engine.database import Database
+from repro.errors import EngineError
+from repro.schema.catalog import Schema
+from repro.schema.types import SqlType
+
+
+def _sql_literal(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return str(value)
+
+
+def topological_table_order(schema: Schema) -> list[str]:
+    """Tables ordered referenced-first, so INSERTs never violate FKs.
+
+    Falls back to a deterministic break for FK cycles (self-references
+    are ignored — they need deferred constraints anyway).
+    """
+    remaining = {t.name for t in schema.tables}
+    deps = {
+        t.name: {fk.ref_table for fk in t.foreign_keys if fk.ref_table != t.name}
+        for t in schema.tables
+    }
+    ordered: list[str] = []
+    while remaining:
+        ready = sorted(n for n in remaining if not (deps[n] & remaining))
+        if not ready:
+            ready = [sorted(remaining)[0]]
+        for name in ready:
+            ordered.append(name)
+            remaining.remove(name)
+    return ordered
+
+
+def to_insert_script(db: Database, include_empty: bool = False) -> str:
+    """Render the instance as INSERT statements in FK-safe order."""
+    lines: list[str] = []
+    for table in topological_table_order(db.schema):
+        relation = db.relation(table)
+        if not relation.rows and not include_empty:
+            continue
+        columns = ", ".join(relation.columns)
+        for row in relation.rows:
+            values = ", ".join(_sql_literal(v) for v in row)
+            lines.append(f"INSERT INTO {table} ({columns}) VALUES ({values});")
+    return "\n".join(lines)
+
+
+def to_csv_map(db: Database, include_empty: bool = False) -> dict[str, str]:
+    """Render the instance as one CSV text per table (header row first).
+
+    NULL is encoded as the empty field; empty strings are quoted, so the
+    two round-trip distinctly.
+    """
+    out: dict[str, str] = {}
+    for table in db.table_names:
+        relation = db.relation(table)
+        if not relation.rows and not include_empty:
+            continue
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, quoting=csv.QUOTE_MINIMAL)
+        writer.writerow(relation.columns)
+        for row in relation.rows:
+            writer.writerow(
+                ['""' if v == "" else ("" if v is None else v) for v in row]
+            )
+        out[table] = buffer.getvalue()
+    return out
+
+
+def from_csv_map(schema: Schema, csv_map: dict[str, str]) -> Database:
+    """Rebuild a database instance from :func:`to_csv_map` output.
+
+    Values are decoded against the schema's column types; unknown tables
+    or mismatched headers raise :class:`~repro.errors.EngineError`.
+    """
+    db = Database(schema)
+    for table_name, text in csv_map.items():
+        if not schema.has_table(table_name):
+            raise EngineError(f"CSV for unknown table {table_name!r}")
+        table = schema.table(table_name)
+        reader = csv.reader(io.StringIO(text))
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise EngineError(f"CSV for {table_name!r} has no header") from None
+        if [h.lower() for h in header] != table.column_names:
+            raise EngineError(
+                f"CSV header for {table_name!r} does not match the schema: "
+                f"{header} vs {table.column_names}"
+            )
+        for row in reader:
+            if not row:
+                continue
+            if len(row) != len(header):
+                raise EngineError(
+                    f"CSV row arity mismatch in {table_name!r}: {row}"
+                )
+            decoded = []
+            for text_value, column_name in zip(row, table.column_names):
+                column = table.column(column_name)
+                if text_value == "":
+                    decoded.append(None)
+                elif text_value == '""':
+                    decoded.append("")
+                elif column.sqltype.is_textual:
+                    decoded.append(text_value)
+                elif column.sqltype is SqlType.FLOAT:
+                    decoded.append(float(text_value))
+                else:
+                    decoded.append(int(text_value))
+            db.insert(table_name, tuple(decoded))
+    return db

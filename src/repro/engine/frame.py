@@ -1,0 +1,97 @@
+"""Intermediate results ("frames") flowing between plan operators.
+
+A frame is a bag of rows with a header of :class:`FrameCol` entries.  Each
+header entry remembers its *binding* (the table alias that produced it) and
+its *sources* — for columns produced by NATURAL-join coalescing, the set of
+original (binding, column) pairs it merged.  This lets qualified references
+resolve through natural joins, and implements the paper's assumption A8
+observation that a natural join replaces common attributes by a single
+output attribute whose value may come from either input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionError
+
+
+@dataclass(frozen=True)
+class FrameCol:
+    """One column of a frame header.
+
+    Attributes:
+        binding: Table alias that produced the column, or ``None`` for a
+            coalesced natural-join column.
+        name: Column name (lower-case).
+        sources: Original (binding, name) pairs this column answers for.
+    """
+
+    binding: str | None
+    name: str
+    sources: tuple[tuple[str, str], ...] = ()
+
+    def answers(self, binding: str, name: str) -> bool:
+        """True if a qualified reference ``binding.name`` resolves here."""
+        if self.binding is not None:
+            return self.binding == binding and self.name == name
+        return (binding, name) in self.sources
+
+
+@dataclass
+class Frame:
+    """A bag of rows with a rich header."""
+
+    header: list[FrameCol]
+    rows: list[tuple] = field(default_factory=list)
+
+    def resolve(self, binding: str | None, name: str) -> int:
+        """Index of the column answering to ``binding.name`` (or bare name).
+
+        Unqualified names must be unambiguous; coalesced (natural-join)
+        columns shadow the per-side originals, as in SQL.
+        """
+        name = name.lower()
+        if binding is not None:
+            binding = binding.lower()
+            matches = [
+                i for i, col in enumerate(self.header) if col.answers(binding, name)
+            ]
+        else:
+            matches = [i for i, col in enumerate(self.header) if col.name == name]
+            if len(matches) > 1:
+                coalesced = [
+                    i
+                    for i, col in enumerate(self.header)
+                    if col.name == name and col.binding is None
+                ]
+                if len(coalesced) == 1:
+                    return coalesced[0]
+        if not matches:
+            target = f"{binding}.{name}" if binding else name
+            raise ExecutionError(f"column {target!r} not found in frame")
+        if len(matches) > 1:
+            target = f"{binding}.{name}" if binding else name
+            raise ExecutionError(f"ambiguous column reference {target!r}")
+        return matches[0]
+
+    def bindings(self) -> set[str]:
+        """All bindings visible in this frame (including coalesce sources)."""
+        out: set[str] = set()
+        for col in self.header:
+            if col.binding is not None:
+                out.add(col.binding)
+            for src_binding, _ in col.sources:
+                out.add(src_binding)
+        return out
+
+    def columns_of_binding(self, binding: str) -> list[int]:
+        """Indices of columns answering for ``binding`` (for ``t.*``)."""
+        binding = binding.lower()
+        out = []
+        for i, col in enumerate(self.header):
+            if col.binding == binding:
+                out.append(i)
+            elif col.binding is None and any(b == binding for b, _ in col.sources):
+                out.append(i)
+        return out

@@ -1,0 +1,78 @@
+"""Primary-key, foreign-key and NOT NULL checking for database instances.
+
+Generated datasets must be *legal* database instances (the paper's
+definition of a test case); every dataset the generator emits is passed
+through :func:`check_integrity` before it reaches the user, and the
+property-based tests assert this invariant over wide input spaces.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IntegrityError
+from repro.engine.database import Database
+
+
+def find_violations(db: Database) -> list[str]:
+    """Return human-readable descriptions of every constraint violation."""
+    violations: list[str] = []
+    schema = db.schema
+    for table in schema.tables:
+        relation = db.relation(table.name)
+        # NOT NULL
+        for column in table.columns:
+            if column.nullable:
+                continue
+            idx = relation.column_index(column.name)
+            for row_num, row in enumerate(relation.rows):
+                if row[idx] is None:
+                    violations.append(
+                        f"{table.name}.{column.name} is NOT NULL but row "
+                        f"{row_num} has NULL"
+                    )
+        # PRIMARY KEY: no NULLs, no duplicates
+        if table.primary_key:
+            key_idx = [relation.column_index(c) for c in table.primary_key]
+            seen: dict[tuple, int] = {}
+            for row_num, row in enumerate(relation.rows):
+                key = tuple(row[i] for i in key_idx)
+                if any(v is None for v in key):
+                    violations.append(
+                        f"{table.name} primary key contains NULL in row {row_num}"
+                    )
+                    continue
+                if key in seen:
+                    violations.append(
+                        f"{table.name} primary key {key!r} duplicated in rows "
+                        f"{seen[key]} and {row_num}"
+                    )
+                else:
+                    seen[key] = row_num
+        # FOREIGN KEYS
+        for fk in table.foreign_keys:
+            target = db.relation(fk.ref_table)
+            src_idx = [relation.column_index(c) for c in fk.columns]
+            dst_idx = [target.column_index(c) for c in fk.ref_columns]
+            target_keys = {tuple(row[i] for i in dst_idx) for row in target.rows}
+            for row_num, row in enumerate(relation.rows):
+                key = tuple(row[i] for i in src_idx)
+                if any(v is None for v in key):
+                    # NULL FK values satisfy the constraint (Section V-H
+                    # relaxation); assumption A2 forbids them via NOT NULL,
+                    # which is checked above.
+                    continue
+                if key not in target_keys:
+                    violations.append(
+                        f"{table.name} row {row_num} foreign key {key!r} has no "
+                        f"match in {fk.ref_table}({', '.join(fk.ref_columns)})"
+                    )
+    return violations
+
+
+def check_integrity(db: Database) -> None:
+    """Raise :class:`IntegrityError` if ``db`` violates any constraint."""
+    violations = find_violations(db)
+    if violations:
+        raise IntegrityError(
+            f"{len(violations)} integrity violation(s); first: {violations[0]}",
+            violations,
+        )

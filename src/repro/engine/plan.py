@@ -1,0 +1,144 @@
+"""Physical-ish plan trees and compilation from the SQL AST.
+
+Plans are what the engine executes.  The original query compiles to a plan
+via :func:`compile_query`; join-type mutants (which pick *different join
+trees* of the same query, per Section II) are constructed directly as plan
+trees by :mod:`repro.mutation.jointype`, so the executor is the single
+source of truth for SQL semantics in kill checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnsupportedSqlError
+from repro.sql.ast import (
+    ColumnRef,
+    Comparison,
+    FromItem,
+    Join,
+    JoinKind,
+    Query,
+    SelectItem,
+    TableRef,
+)
+
+
+class PlanNode:
+    """Marker base class for plan nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ScanNode(PlanNode):
+    """Scan a base table under a binding (alias)."""
+
+    table: str
+    binding: str
+
+
+@dataclass(frozen=True)
+class SelectNode(PlanNode):
+    """Filter rows by a conjunction of comparisons."""
+
+    child: PlanNode
+    predicates: tuple[Comparison, ...]
+
+
+@dataclass(frozen=True)
+class JoinNode(PlanNode):
+    """Join two inputs.
+
+    Attributes:
+        kind: INNER / LEFT / RIGHT / FULL / CROSS.
+        condition: ON conjunction (empty for CROSS and NATURAL joins).
+        natural: NATURAL join — the condition is derived from common column
+            names at execution time and common columns are coalesced.
+    """
+
+    kind: JoinKind
+    left: PlanNode
+    right: PlanNode
+    condition: tuple[Comparison, ...] = ()
+    natural: bool = False
+
+    def with_kind(self, kind: JoinKind) -> "JoinNode":
+        """This join with a different join type (a join-type mutation)."""
+        return JoinNode(kind, self.left, self.right, self.condition, self.natural)
+
+
+@dataclass(frozen=True)
+class ProjectNode(PlanNode):
+    """Evaluate a select list per row (no aggregation)."""
+
+    child: PlanNode
+    items: tuple[SelectItem, ...]
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class AggregateNode(PlanNode):
+    """GROUP BY + aggregate evaluation, with optional HAVING filtering."""
+
+    child: PlanNode
+    group_by: tuple[ColumnRef, ...]
+    items: tuple[SelectItem, ...]
+    having: tuple[Comparison, ...] = ()
+
+
+def _compile_from_item(item: FromItem) -> PlanNode:
+    if isinstance(item, TableRef):
+        return ScanNode(item.name.lower(), item.binding.lower())
+    if isinstance(item, Join):
+        return JoinNode(
+            item.kind,
+            _compile_from_item(item.left),
+            _compile_from_item(item.right),
+            item.condition,
+            item.natural,
+        )
+    raise UnsupportedSqlError(f"cannot compile FROM item {item!r}")
+
+
+def compile_query(query: Query) -> PlanNode:
+    """Compile a parsed query into an executable plan.
+
+    Comma-separated FROM items become cross joins under the WHERE filter,
+    which matches SQL semantics for inner queries; explicit join trees are
+    preserved node for node so outer-join placement is respected.
+    """
+    if query.has_subquery_predicates:
+        raise UnsupportedSqlError(
+            "subquery predicates cannot be executed directly; decorrelate "
+            "the query first (repro.core.decorrelate)"
+        )
+    plans = [_compile_from_item(item) for item in query.from_items]
+    plan = plans[0]
+    for other in plans[1:]:
+        plan = JoinNode(JoinKind.CROSS, plan, other)
+    if query.where:
+        plan = SelectNode(plan, tuple(query.where))
+    if query.group_by or query.has_aggregates or query.having:
+        return AggregateNode(
+            plan,
+            tuple(query.group_by),
+            tuple(query.select_items),
+            tuple(query.having),
+        )
+    return ProjectNode(plan, tuple(query.select_items), query.distinct)
+
+
+def plan_scans(plan: PlanNode) -> list[ScanNode]:
+    """All scan leaves of a plan, left to right."""
+    if isinstance(plan, ScanNode):
+        return [plan]
+    if isinstance(plan, SelectNode):
+        return plan_scans(plan.child)
+    if isinstance(plan, JoinNode):
+        return plan_scans(plan.left) + plan_scans(plan.right)
+    if isinstance(plan, (ProjectNode,)):
+        return plan_scans(plan.child)
+    if isinstance(plan, AggregateNode):
+        return plan_scans(plan.child)
+    raise TypeError(f"unexpected plan node {plan!r}")

@@ -1,0 +1,62 @@
+"""Relation: an ordered bag of rows with a named-column header."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionError
+
+
+@dataclass
+class Relation:
+    """A bag of rows.
+
+    Attributes:
+        columns: Column names, lower-case, in order.
+        rows: Row tuples, parallel to ``columns``.  Rows are plain tuples;
+            the bag may contain duplicates.
+    """
+
+    columns: list[str]
+    rows: list[tuple] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.columns = [c.lower() for c in self.columns]
+        self._index = {name: i for i, name in enumerate(self.columns)}
+        if len(self._index) != len(self.columns):
+            raise ExecutionError(f"duplicate column in relation: {self.columns}")
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ExecutionError(
+                    f"row arity {len(row)} does not match header "
+                    f"{len(self.columns)}"
+                )
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise ExecutionError(f"no column {name!r} in {self.columns}") from None
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def value(self, row: tuple, column: str):
+        return row[self.column_index(column)]
+
+    def add(self, row: tuple) -> None:
+        if len(row) != len(self.columns):
+            raise ExecutionError(
+                f"row arity {len(row)} does not match header {len(self.columns)}"
+            )
+        self.rows.append(row)
+
+    def as_dicts(self) -> list[dict]:
+        """Rows as name->value dictionaries (for display and tests)."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)

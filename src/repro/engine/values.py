@@ -1,0 +1,108 @@
+"""SQL value semantics: three-valued logic and NULL-aware operations.
+
+NULL is represented by Python ``None``.  Comparisons involving NULL yield
+``None`` (SQL UNKNOWN); WHERE/ON clauses keep a row only when the predicate
+evaluates to ``True``.  Arithmetic with NULL yields NULL.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import ExecutionError
+
+#: The three truth values: True, False, and None (UNKNOWN).
+TruthValue = bool | None
+
+
+def sql_and(a: TruthValue, b: TruthValue) -> TruthValue:
+    """Three-valued AND."""
+    if a is False or b is False:
+        return False
+    if a is None or b is None:
+        return None
+    return True
+
+
+def sql_or(a: TruthValue, b: TruthValue) -> TruthValue:
+    """Three-valued OR."""
+    if a is True or b is True:
+        return True
+    if a is None or b is None:
+        return None
+    return False
+
+
+def sql_not(a: TruthValue) -> TruthValue:
+    """Three-valued NOT."""
+    if a is None:
+        return None
+    return not a
+
+
+def sql_compare(op: str, left, right) -> TruthValue:
+    """Evaluate ``left op right`` with SQL semantics.
+
+    NULL on either side yields UNKNOWN.  Mixed numeric types compare
+    numerically; comparing a number with a string is a type error (the
+    catalog-aware analyzer should have prevented it).
+    """
+    if left is None or right is None:
+        return None
+    left_num = isinstance(left, (int, float, Fraction)) and not isinstance(left, bool)
+    right_num = isinstance(right, (int, float, Fraction)) and not isinstance(
+        right, bool
+    )
+    if left_num != right_num:
+        raise ExecutionError(
+            f"cannot compare {type(left).__name__} with {type(right).__name__}"
+        )
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == ">":
+        return left > right
+    if op == "<=":
+        return left <= right
+    if op == ">=":
+        return left >= right
+    raise ExecutionError(f"unknown comparison operator {op!r}")
+
+
+def sql_arith(op: str, left, right):
+    """Evaluate arithmetic with NULL propagation and exact division."""
+    if left is None or right is None:
+        return None
+    if isinstance(left, str) or isinstance(right, str):
+        raise ExecutionError(f"arithmetic on non-numeric value ({left!r} {op} {right!r})")
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            return None  # SQL engines raise; NULL keeps differential runs total
+        result = Fraction(left) / Fraction(right)
+        return int(result) if result.denominator == 1 else result
+    raise ExecutionError(f"unknown arithmetic operator {op!r}")
+
+
+def normalize_value(value):
+    """Canonicalise a value for result comparison.
+
+    Integral floats and Fractions become ints so that ``4``, ``4.0`` and
+    ``Fraction(4, 1)`` compare equal across plans; other Fractions stay
+    exact.
+    """
+    if isinstance(value, bool):
+        raise ExecutionError("boolean values cannot appear in result rows")
+    if isinstance(value, Fraction):
+        return int(value) if value.denominator == 1 else value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value

@@ -1,0 +1,101 @@
+"""Exception hierarchy for the XData reproduction.
+
+Every error raised by the library derives from :class:`XDataError`, so
+callers can catch one type at an API boundary.  Substrate-specific errors
+(SQL parsing, schema validation, engine execution, constraint solving)
+carry enough context to be actionable without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class XDataError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SqlError(XDataError):
+    """Base class for errors in the SQL substrate."""
+
+
+class LexError(SqlError):
+    """Raised when the lexer encounters an unrecognised character sequence.
+
+    Attributes:
+        text: The full input text being tokenised.
+        position: Byte offset of the offending character.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int = 0):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+
+class ParseError(SqlError):
+    """Raised when the parser cannot derive a query from the token stream.
+
+    Attributes:
+        token: The token at which parsing failed (may be ``None`` at EOF).
+    """
+
+    def __init__(self, message: str, token=None):
+        super().__init__(message)
+        self.token = token
+
+
+class UnsupportedSqlError(SqlError):
+    """Raised for syntactically valid SQL outside the supported class.
+
+    The paper's query class (assumptions A1-A8) excludes nested subqueries,
+    HAVING, IS NULL tests, and non-conjunctive predicates; such inputs are
+    rejected explicitly rather than silently mis-handled.
+    """
+
+
+class SchemaError(XDataError):
+    """Raised for malformed or inconsistent schema definitions."""
+
+
+class CatalogError(SchemaError):
+    """Raised when a query references tables/columns absent from the schema."""
+
+
+class EngineError(XDataError):
+    """Base class for relational-engine errors."""
+
+
+class IntegrityError(EngineError):
+    """Raised when a database instance violates PK/FK/domain constraints.
+
+    Attributes:
+        violations: Human-readable descriptions of every violation found.
+    """
+
+    def __init__(self, message: str, violations=None):
+        super().__init__(message)
+        self.violations = list(violations or [])
+
+
+class ExecutionError(EngineError):
+    """Raised when query execution fails (type mismatch, missing column)."""
+
+
+class SolverError(XDataError):
+    """Base class for constraint-solver errors."""
+
+
+class UnsatisfiableError(SolverError):
+    """Raised by APIs that require a model when the constraints are UNSAT.
+
+    An unsatisfiable constraint set is *not* an error inside the generator
+    (it signals an equivalent mutation group, per the paper); this exception
+    only surfaces from convenience entry points that promise a model.
+    """
+
+
+class SolverLimitError(SolverError):
+    """Raised when the solver exceeds its configured search budget."""
+
+
+class GenerationError(XDataError):
+    """Raised when dataset generation fails for reasons other than UNSAT."""

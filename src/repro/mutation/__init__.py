@@ -1,0 +1,15 @@
+"""Mutation space: join-type, comparison-operator and aggregation mutants.
+
+A :class:`Mutant` is an executable plan plus provenance; the space for a
+query is produced by :func:`enumerate_mutants` and covers, per Section II:
+
+* single join-type changes on every node of every equivalent join tree
+  (all join orders derived through equivalence classes) for inner-join
+  queries, or of the written tree for queries with outer joins;
+* single comparison-operator changes on WHERE-clause conjuncts;
+* single aggregation-operator changes in the select list.
+"""
+
+from repro.mutation.space import Mutant, MutationSpace, enumerate_mutants
+
+__all__ = ["Mutant", "MutationSpace", "enumerate_mutants"]

@@ -1,0 +1,112 @@
+"""The combined mutation space for a query."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.analyze import AnalyzedQuery, analyze_query
+from repro.engine.plan import PlanNode
+from repro.mutation.aggregate import aggregate_mutants
+from repro.mutation.comparison import comparison_mutants
+from repro.mutation.jointype import join_mutants
+from repro.schema.catalog import Schema
+from repro.sql.ast import Query
+from repro.sql.parser import parse_query
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One executable mutant.
+
+    Attributes:
+        kind: 'join', 'comparison' or 'aggregate'.
+        plan: Executable plan of the mutant.
+        description: Human-readable description of the single mutation.
+    """
+
+    kind: str
+    plan: PlanNode
+    description: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.description}"
+
+
+@dataclass
+class MutationSpace:
+    """All mutants of a query, grouped by kind."""
+
+    analyzed: AnalyzedQuery
+    mutants: list[Mutant] = field(default_factory=list)
+
+    def by_kind(self, kind: str) -> list[Mutant]:
+        """Mutants of one kind ('join', 'comparison', 'aggregate', ...)."""
+        return [m for m in self.mutants if m.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.mutants)
+
+
+def enumerate_mutants(
+    query: str | Query | AnalyzedQuery,
+    schema: Schema | None = None,
+    include_full_outer: bool = False,
+    include_join: bool = True,
+    include_comparison: bool = True,
+    include_aggregate: bool = True,
+    include_join_conditions: bool = False,
+    tree_cap: int = 20000,
+) -> MutationSpace:
+    """Enumerate the mutation space of Section II for ``query``.
+
+    ``include_full_outer`` matches the paper's experimental choice of
+    ignoring mutations *to* full outer join when False (the default).
+    ``include_join_conditions`` adds the wrong-attribute and
+    missing-conjunct extension space (:mod:`repro.mutation.joincond`),
+    which is outside the paper's evaluated space and off by default.
+    """
+    if isinstance(query, AnalyzedQuery):
+        aq = query
+    else:
+        parsed = parse_query(query) if isinstance(query, str) else query
+        if schema is None:
+            raise ValueError("schema is required unless an AnalyzedQuery is given")
+        aq = analyze_query(parsed, schema)
+    space = MutationSpace(aq)
+    if include_join:
+        for m in join_mutants(aq, include_full_outer, tree_cap):
+            space.mutants.append(Mutant("join", m.plan, m.description))
+    if include_comparison:
+        for m in comparison_mutants(aq):
+            space.mutants.append(Mutant("comparison", m.plan, m.description))
+        from repro.engine.plan import compile_query
+        from repro.mutation.util import replace_where_conjunct
+
+        for info in aq.null_tests:
+            mutated = replace_where_conjunct(
+                aq.query, info.position, info.pred.flipped()
+            )
+            space.mutants.append(
+                Mutant(
+                    "nulltest",
+                    compile_query(mutated),
+                    f"where[{info.position}]: '{info.pred}' -> "
+                    f"'{info.pred.flipped()}'",
+                )
+            )
+    if include_aggregate:
+        for m in aggregate_mutants(aq):
+            space.mutants.append(Mutant("aggregate", m.plan, m.description))
+    if include_join_conditions:
+        from repro.mutation.joincond import (
+            missing_conjunct_mutants,
+            wrong_attribute_mutants,
+        )
+
+        for m in wrong_attribute_mutants(aq):
+            space.mutants.append(Mutant("joincond-wrong", m.plan, m.description))
+        for m in missing_conjunct_mutants(aq):
+            space.mutants.append(
+                Mutant("joincond-missing", m.plan, m.description)
+            )
+    return space

@@ -1,0 +1,89 @@
+"""Shared AST-rewriting helpers for mutant construction."""
+
+from __future__ import annotations
+
+from repro.sql.ast import (
+    Aggregate,
+    BinaryOp,
+    Comparison,
+    Expr,
+    Query,
+    SelectItem,
+)
+
+
+def replace_where_conjunct(query: Query, position: int, pred: Comparison) -> Query:
+    """A copy of ``query`` with WHERE conjunct ``position`` replaced."""
+    where = list(query.where)
+    where[position] = pred
+    return Query(
+        select_items=query.select_items,
+        from_items=query.from_items,
+        where=tuple(where),
+        group_by=query.group_by,
+        distinct=query.distinct,
+        having=query.having,
+    )
+
+
+def replace_having_conjunct(query: Query, position: int, pred: Comparison) -> Query:
+    """A copy of ``query`` with HAVING conjunct ``position`` replaced."""
+    having = list(query.having)
+    having[position] = pred
+    return Query(
+        select_items=query.select_items,
+        from_items=query.from_items,
+        where=query.where,
+        group_by=query.group_by,
+        distinct=query.distinct,
+        having=tuple(having),
+    )
+
+
+def replace_aggregate(expr: Expr, old: Aggregate, new: Aggregate) -> Expr:
+    """Replace one aggregate node inside an expression tree (by identity)."""
+    if expr is old:
+        return new
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op,
+            replace_aggregate(expr.left, old, new),
+            replace_aggregate(expr.right, old, new),
+        )
+    return expr
+
+
+def replace_select_aggregate(query: Query, old: Aggregate, new: Aggregate) -> Query:
+    """A copy of ``query`` with one select-list aggregate swapped."""
+    items = tuple(
+        SelectItem(replace_aggregate(item.expr, old, new), item.alias)
+        for item in query.select_items
+    )
+    return Query(
+        select_items=items,
+        from_items=query.from_items,
+        where=query.where,
+        group_by=query.group_by,
+        distinct=query.distinct,
+        having=query.having,
+    )
+
+
+def replace_having_aggregate(query: Query, old: Aggregate, new: Aggregate) -> Query:
+    """A copy of ``query`` with one HAVING-clause aggregate swapped."""
+    having = tuple(
+        Comparison(
+            pred.op,
+            replace_aggregate(pred.left, old, new),
+            replace_aggregate(pred.right, old, new),
+        )
+        for pred in query.having
+    )
+    return Query(
+        select_items=query.select_items,
+        from_items=query.from_items,
+        where=query.where,
+        group_by=query.group_by,
+        distinct=query.distinct,
+        having=having,
+    )

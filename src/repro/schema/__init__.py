@@ -1,0 +1,7 @@
+"""Schema substrate: catalog types, constraints, and a small DDL parser."""
+
+from repro.schema.catalog import Column, ForeignKey, Schema, Table
+from repro.schema.ddl import parse_ddl
+from repro.schema.types import SqlType
+
+__all__ = ["Column", "ForeignKey", "Schema", "Table", "SqlType", "parse_ddl"]

@@ -1,0 +1,307 @@
+"""Relational catalog: tables, columns, primary/foreign keys.
+
+The paper assumes (A1) that primary-key and foreign-key constraints are the
+only constraints, and (A2) that foreign-key columns are not nullable.  The
+catalog records both kinds, exposes the *column-level transitive closure*
+of foreign-key relationships required by Algorithm 1's preprocessing step,
+and answers the "which attributes reference R.a (directly or indirectly)"
+queries at the heart of Algorithm 2.
+
+All table and column names are case-insensitive; they are stored and
+compared in lower case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError, SchemaError
+from repro.schema.types import SqlType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column definition.
+
+    Attributes:
+        name: Column name (stored lower-case).
+        sqltype: Declared type.
+        nullable: Whether NULL is admissible.  Foreign-key columns are
+            forced non-nullable at schema validation time (assumption A2)
+            unless the schema is built with ``allow_nullable_fks=True``
+            (the Section V-H relaxation).
+        domain: Optional enumeration of admissible values; used by the
+            solver to pick intuitive values (e.g. real department names).
+    """
+
+    name: str
+    sqltype: SqlType
+    nullable: bool = True
+    domain: tuple = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "name", self.name.lower())
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key constraint from one table to another.
+
+    Attributes:
+        table: Referencing table name.
+        columns: Referencing column names, in declaration order.
+        ref_table: Referenced table name.
+        ref_columns: Referenced column names (parallel to ``columns``).
+    """
+
+    table: str
+    columns: tuple[str, ...]
+    ref_table: str
+    ref_columns: tuple[str, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "table", self.table.lower())
+        object.__setattr__(self, "ref_table", self.ref_table.lower())
+        object.__setattr__(self, "columns", tuple(c.lower() for c in self.columns))
+        object.__setattr__(
+            self, "ref_columns", tuple(c.lower() for c in self.ref_columns)
+        )
+        if len(self.columns) != len(self.ref_columns):
+            raise SchemaError(
+                f"foreign key on {self.table} has {len(self.columns)} columns "
+                f"but references {len(self.ref_columns)}"
+            )
+
+    def column_pairs(self) -> list[tuple[str, str]]:
+        """(referencing column, referenced column) pairs."""
+        return list(zip(self.columns, self.ref_columns))
+
+
+@dataclass
+class Table:
+    """A table definition: ordered columns plus key constraints."""
+
+    name: str
+    columns: list[Column]
+    primary_key: tuple[str, ...] = ()
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.name = self.name.lower()
+        self.primary_key = tuple(c.lower() for c in self.primary_key)
+        self._by_name = {c.name: i for i, c in enumerate(self.columns)}
+        if len(self._by_name) != len(self.columns):
+            raise SchemaError(f"duplicate column name in table {self.name}")
+        for pk_col in self.primary_key:
+            if pk_col not in self._by_name:
+                raise SchemaError(
+                    f"primary key column {pk_col!r} not in table {self.name}"
+                )
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._by_name
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[self._by_name[name.lower()]]
+        except KeyError:
+            raise CatalogError(f"no column {name!r} in table {self.name}") from None
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self._by_name[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no column {name!r} in table {self.name}") from None
+
+
+class Schema:
+    """A database schema: a set of tables with validated key constraints.
+
+    Args:
+        tables: Table definitions.
+        allow_nullable_fks: If False (the default, per assumption A2),
+            foreign-key columns are forced NOT NULL.  Setting True enables
+            the Section V-H relaxation where the generator may emit NULL
+            foreign-key values instead of nullifying referenced attributes.
+    """
+
+    def __init__(self, tables: list[Table], allow_nullable_fks: bool = False):
+        self._tables: dict[str, Table] = {}
+        self.allow_nullable_fks = allow_nullable_fks
+        for table in tables:
+            if table.name in self._tables:
+                raise SchemaError(f"duplicate table {table.name}")
+            self._tables[table.name] = table
+        self._validate()
+        self._fk_closure = self._compute_fk_closure()
+
+    # -- lookup -------------------------------------------------------------
+
+    @property
+    def tables(self) -> list[Table]:
+        return list(self._tables.values())
+
+    @property
+    def table_names(self) -> list[str]:
+        return list(self._tables)
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no table {name!r} in schema") from None
+
+    def foreign_keys(self) -> list[ForeignKey]:
+        """All foreign keys in the schema."""
+        out: list[ForeignKey] = []
+        for table in self._tables.values():
+            out.extend(table.foreign_keys)
+        return out
+
+    # -- validation ----------------------------------------------------------
+
+    def _validate(self) -> None:
+        for table in self._tables.values():
+            for fk in table.foreign_keys:
+                if fk.table != table.name:
+                    raise SchemaError(
+                        f"foreign key declared on {table.name} but names {fk.table}"
+                    )
+                if fk.ref_table not in self._tables:
+                    raise SchemaError(
+                        f"foreign key on {table.name} references unknown table "
+                        f"{fk.ref_table}"
+                    )
+                target = self._tables[fk.ref_table]
+                for col in fk.columns:
+                    if not table.has_column(col):
+                        raise SchemaError(
+                            f"foreign key column {col!r} not in table {table.name}"
+                        )
+                for col in fk.ref_columns:
+                    if not target.has_column(col):
+                        raise SchemaError(
+                            f"referenced column {col!r} not in table {fk.ref_table}"
+                        )
+                if not self.allow_nullable_fks:
+                    # Assumption A2: make FK columns non-nullable.
+                    for col in fk.columns:
+                        idx = table.column_index(col)
+                        column = table.columns[idx]
+                        if column.nullable:
+                            table.columns[idx] = Column(
+                                column.name,
+                                column.sqltype,
+                                nullable=False,
+                                domain=column.domain,
+                            )
+
+    # -- foreign-key closure ---------------------------------------------------
+
+    def _compute_fk_closure(self) -> set[tuple[str, str, str, str]]:
+        """Column-level transitive closure of FK references.
+
+        Returns a set of ``(table, column, ref_table, ref_column)`` 4-tuples:
+        if A.x -> B.x and B.x -> C.x are declared, the closure also contains
+        A.x -> C.x (Algorithm 1 preprocessing, step 3).
+        """
+        edges: set[tuple[str, str, str, str]] = set()
+        for fk in self.foreign_keys():
+            for col, ref_col in fk.column_pairs():
+                edges.add((fk.table, col, fk.ref_table, ref_col))
+        closed = set(edges)
+        changed = True
+        while changed:
+            changed = False
+            for t1, c1, t2, c2 in list(closed):
+                for t3, c3, t4, c4 in edges:
+                    if (t3, c3) == (t2, c2) and (t1, c1, t4, c4) not in closed:
+                        if (t1, c1) != (t4, c4):
+                            closed.add((t1, c1, t4, c4))
+                            changed = True
+        return closed
+
+    def fk_closure(self) -> set[tuple[str, str, str, str]]:
+        """The transitive column-level FK closure (copy)."""
+        return set(self._fk_closure)
+
+    def references(self, table: str, column: str) -> set[tuple[str, str]]:
+        """Columns that ``table.column`` references, directly or transitively."""
+        table = table.lower()
+        column = column.lower()
+        return {
+            (rt, rc)
+            for (t, c, rt, rc) in self._fk_closure
+            if (t, c) == (table, column)
+        }
+
+    def referencing(self, table: str, column: str) -> set[tuple[str, str]]:
+        """Columns that reference ``table.column``, directly or transitively.
+
+        This is the Algorithm 2 helper: nullifying a referenced attribute
+        requires jointly nullifying everything in this set.
+        """
+        table = table.lower()
+        column = column.lower()
+        return {
+            (t, c)
+            for (t, c, rt, rc) in self._fk_closure
+            if (rt, rc) == (table, column)
+        }
+
+    # -- derived schemas ----------------------------------------------------------
+
+    def without_foreign_keys(self, keep: int | None = None) -> "Schema":
+        """A copy of this schema with only the first ``keep`` foreign keys.
+
+        Used by the Table I experiments, which vary the number of foreign
+        keys from 0 up to the number originally present.  ``keep=None``
+        keeps all; ``keep=0`` strips every foreign key.
+        """
+        remaining = keep
+        tables = []
+        for table in self._tables.values():
+            fks: list[ForeignKey] = []
+            for fk in table.foreign_keys:
+                if remaining is None:
+                    fks.append(fk)
+                elif remaining > 0:
+                    fks.append(fk)
+                    remaining -= 1
+            tables.append(
+                Table(
+                    table.name,
+                    list(table.columns),
+                    table.primary_key,
+                    fks,
+                )
+            )
+        return Schema(tables, allow_nullable_fks=self.allow_nullable_fks)
+
+    def restrict_foreign_keys(self, count: int, among: list[str]) -> "Schema":
+        """Keep only the first ``count`` FKs declared on tables in ``among``.
+
+        Foreign keys on other tables are dropped too, so experiments that
+        say "the query's relations have k foreign keys" are reproducible.
+        """
+        among_set = {name.lower() for name in among}
+        remaining = count
+        tables = []
+        for table in self._tables.values():
+            fks = []
+            if table.name in among_set:
+                for fk in table.foreign_keys:
+                    if remaining > 0 and fk.ref_table in among_set:
+                        fks.append(fk)
+                        remaining -= 1
+            tables.append(
+                Table(table.name, list(table.columns), table.primary_key, fks)
+            )
+        return Schema(tables, allow_nullable_fks=self.allow_nullable_fks)

@@ -1,0 +1,50 @@
+"""SQL column types supported by the catalog, engine and solver.
+
+All types are integer-backed inside the constraint solver: VARCHAR values
+are interned against a per-domain symbol pool, NUMERIC/FLOAT values are
+generated as integers (the paper's generator does the same — CVC3 models
+are integer assignments decoded into typed values).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class SqlType(enum.Enum):
+    """Column type; values are canonical SQL spellings."""
+
+    INT = "INT"
+    VARCHAR = "VARCHAR"
+    NUMERIC = "NUMERIC"
+    FLOAT = "FLOAT"
+    DATE = "DATE"
+
+    @property
+    def is_numeric(self) -> bool:
+        """True for types whose values support arithmetic and ordering."""
+        return self in (SqlType.INT, SqlType.NUMERIC, SqlType.FLOAT)
+
+    @property
+    def is_textual(self) -> bool:
+        return self is SqlType.VARCHAR
+
+    @classmethod
+    def from_sql(cls, name: str) -> "SqlType":
+        """Map a SQL type keyword (INT, INTEGER, CHAR, DECIMAL, ...) here."""
+        upper = name.upper()
+        aliases = {
+            "INT": cls.INT,
+            "INTEGER": cls.INT,
+            "VARCHAR": cls.VARCHAR,
+            "CHAR": cls.VARCHAR,
+            "TEXT": cls.VARCHAR,
+            "NUMERIC": cls.NUMERIC,
+            "DECIMAL": cls.NUMERIC,
+            "FLOAT": cls.FLOAT,
+            "REAL": cls.FLOAT,
+            "DATE": cls.DATE,
+        }
+        if upper not in aliases:
+            raise ValueError(f"unsupported SQL type {name!r}")
+        return aliases[upper]

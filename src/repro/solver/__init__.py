@@ -1,0 +1,49 @@
+"""Constraint-solver substrate (the CVC3 stand-in).
+
+The paper hands CVC3 a set of constraints over tuple-of-variable arrays:
+(dis)equalities and order comparisons over integer-backed attributes with
+simple arithmetic, primary-key functional dependencies, foreign-key
+subset constraints with bounded FORALL/EXISTS quantifiers, and NOT EXISTS
+nullification constraints.  This package implements exactly that fragment:
+
+* :mod:`terms` — linear terms, comparison atoms, boolean formulas, bounded
+  quantifiers;
+* :mod:`builders` — convenience constructors;
+* :mod:`domains` — candidate-value domain construction per variable class;
+* :mod:`search` — union-find equality preprocessing plus backtracking
+  search with three-valued (Kleene) constraint evaluation;
+* :mod:`solver` — the :class:`Solver` facade with the two quantifier
+  strategies of Section VI-B: ``unfold=True`` expands bounded quantifiers
+  into ground formulas before solving (fast); ``unfold=False`` solves the
+  ground part and lazily instantiates violated quantifiers with restarts,
+  reproducing the slow path the paper measured with quantified CVC3 input.
+"""
+
+from repro.solver.model import Model
+from repro.solver.solver import Solver, SolveStats
+from repro.solver.terms import (
+    Atom,
+    BoolConst,
+    Conj,
+    Disj,
+    Formula,
+    Linear,
+    Neg,
+    Quantified,
+    VarInfo,
+)
+
+__all__ = [
+    "Solver",
+    "SolveStats",
+    "Model",
+    "Linear",
+    "Atom",
+    "Formula",
+    "Conj",
+    "Disj",
+    "Neg",
+    "BoolConst",
+    "Quantified",
+    "VarInfo",
+]

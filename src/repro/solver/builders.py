@@ -1,0 +1,142 @@
+"""Convenience constructors for the constraint language.
+
+All comparison builders take :class:`Linear` operands and normalise to the
+canonical atom forms (``=``, ``<>``, ``<``, ``<=`` against zero).
+"""
+
+from __future__ import annotations
+
+from repro.solver.terms import (
+    FALSE,
+    TRUE,
+    Atom,
+    BoolConst,
+    Conj,
+    Disj,
+    Formula,
+    Linear,
+    Neg,
+    Quantified,
+)
+
+
+def var(name: str) -> Linear:
+    return Linear.of_var(name)
+
+
+def const(value: int) -> Linear:
+    return Linear.of_const(value)
+
+
+def eq(a: Linear, b: Linear) -> Atom:
+    return Atom("=", a - b)
+
+
+def ne(a: Linear, b: Linear) -> Atom:
+    return Atom("<>", a - b)
+
+
+def lt(a: Linear, b: Linear) -> Atom:
+    return Atom("<", a - b)
+
+
+def le(a: Linear, b: Linear) -> Atom:
+    return Atom("<=", a - b)
+
+
+def gt(a: Linear, b: Linear) -> Atom:
+    return Atom("<", b - a)
+
+
+def ge(a: Linear, b: Linear) -> Atom:
+    return Atom("<=", b - a)
+
+
+#: SQL comparison operator -> builder.
+COMPARE = {"=": eq, "<>": ne, "<": lt, "<=": le, ">": gt, ">=": ge}
+
+
+def compare(op: str, a: Linear, b: Linear) -> Atom:
+    """Build the atom for SQL comparison ``a op b``."""
+    return COMPARE[op](a, b)
+
+
+def conj(parts) -> Formula:
+    """Conjunction, simplifying constants and flattening."""
+    flat: list[Formula] = []
+    for part in parts:
+        if isinstance(part, BoolConst):
+            if not part.value:
+                return FALSE
+            continue
+        if isinstance(part, Conj):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return Conj(tuple(flat))
+
+
+def disj(parts) -> Formula:
+    """Disjunction, simplifying constants and flattening."""
+    flat: list[Formula] = []
+    for part in parts:
+        if isinstance(part, BoolConst):
+            if part.value:
+                return TRUE
+            continue
+        if isinstance(part, Disj):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Disj(tuple(flat))
+
+
+def neg(part: Formula) -> Formula:
+    """Negation, pushed into atoms and constants immediately."""
+    if isinstance(part, Atom):
+        return part.negate()
+    if isinstance(part, BoolConst):
+        return FALSE if part.value else TRUE
+    if isinstance(part, Neg):
+        return part.part
+    return Neg(part)
+
+
+def implies(antecedent: Formula, consequent: Formula) -> Formula:
+    return disj([neg(antecedent), consequent])
+
+
+def forall(instances, label: str = "") -> Formula:
+    """Bounded FORALL over pre-expanded instances."""
+    instances = tuple(instances)
+    if not instances:
+        return TRUE
+    return Quantified("forall", instances, label)
+
+
+def exists(instances, label: str = "") -> Formula:
+    """Bounded EXISTS over pre-expanded instances."""
+    instances = tuple(instances)
+    if not instances:
+        return FALSE
+    return Quantified("exists", instances, label)
+
+
+def not_exists(instances, label: str = "") -> Formula:
+    """Bounded NOT EXISTS: a FORALL of negated instances.
+
+    This is the nullification constraint shape of Algorithms 2 and 3
+    (``ASSERT NOT EXISTS (i : R_INT) : ...``).
+    """
+    instances = tuple(instances)
+    if not instances:
+        return TRUE
+    return Quantified("forall", tuple(neg(i) for i in instances), label)

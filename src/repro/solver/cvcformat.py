@@ -1,0 +1,113 @@
+"""Render constraint formulas in CVC3's ASSERT syntax.
+
+The paper presents its constraints as CVC3 input (e.g.::
+
+    ASSERT NOT EXISTS (i : B_INT) : (B[i].0 = C[1].0 + 10);
+
+).  This module reproduces that surface form for debugging and for
+comparing generated constraint sets against the paper's examples.  It is
+a *pretty-printer*: the library never round-trips through this format.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.solver.terms import (
+    Atom,
+    BoolConst,
+    Conj,
+    Disj,
+    Formula,
+    Linear,
+    Neg,
+    Quantified,
+)
+
+_SLOT_RE = re.compile(r"^(?P<table>\w+)\[(?P<index>\d+)\]\.(?P<column>\w+)$")
+
+
+def _var_text(name: str, positional: dict[str, dict[str, int]] | None) -> str:
+    """``table[i].column``, positionally numbered if a layout is given.
+
+    CVC3 "does not understand attribute names, and instead uses positional
+    notation" (Section V-A); pass ``positional`` as table -> column ->
+    position to reproduce that, or None to keep attribute names.
+    """
+    match = _SLOT_RE.match(name)
+    if not match or positional is None:
+        return name
+    table = match.group("table")
+    column = match.group("column")
+    layout = positional.get(table)
+    if layout is None or column not in layout:
+        return name
+    return f"{table}[{match.group('index')}].{layout[column]}"
+
+
+def _linear_sides(lin: Linear, positional) -> tuple[str, str]:
+    """Split ``lin op 0`` into readable left/right sides."""
+    positives: list[str] = []
+    negatives: list[str] = []
+    for name, coef in lin.coeffs:
+        text = _var_text(name, positional)
+        if abs(coef) != 1:
+            text = f"{abs(coef)}*{text}"
+        (positives if coef > 0 else negatives).append(text)
+    const = lin.const
+    if const > 0:
+        positives.append(str(const))
+    elif const < 0:
+        negatives.append(str(-const))
+    left = " + ".join(positives) if positives else "0"
+    right = " + ".join(negatives) if negatives else "0"
+    return left, right
+
+
+_OP_TEXT = {"=": "=", "<>": "/=", "<": "<", "<=": "<="}
+
+
+def formula_to_cvc(
+    formula: Formula,
+    positional: dict[str, dict[str, int]] | None = None,
+) -> str:
+    """Render one formula as a CVC3-style expression."""
+    if isinstance(formula, Atom):
+        left, right = _linear_sides(formula.lin, positional)
+        return f"({left} {_OP_TEXT[formula.op]} {right})"
+    if isinstance(formula, BoolConst):
+        return "TRUE" if formula.value else "FALSE"
+    if isinstance(formula, Neg):
+        return f"(NOT {formula_to_cvc(formula.part, positional)})"
+    if isinstance(formula, Conj):
+        inner = " AND ".join(formula_to_cvc(p, positional) for p in formula.parts)
+        return f"({inner})"
+    if isinstance(formula, Disj):
+        inner = " OR ".join(formula_to_cvc(p, positional) for p in formula.parts)
+        return f"({inner})"
+    if isinstance(formula, Quantified):
+        keyword = "FORALL" if formula.kind == "forall" else "EXISTS"
+        range_name = formula.label or "i : INT"
+        inner = (
+            " AND " if formula.kind == "forall" else " OR "
+        ).join(formula_to_cvc(p, positional) for p in formula.instances)
+        return f"({keyword} ({range_name}) : ({inner}))"
+    raise TypeError(f"cannot render {formula!r}")
+
+
+def assertions(
+    formulas,
+    positional: dict[str, dict[str, int]] | None = None,
+) -> str:
+    """Render a constraint set as ASSERT lines (one per formula)."""
+    return "\n".join(
+        f"ASSERT {formula_to_cvc(f, positional)};" for f in formulas
+    )
+
+
+def positional_layout(schema) -> dict[str, dict[str, int]]:
+    """Column-position map of a schema, for CVC3's positional notation."""
+    return {
+        table.name: {c: i for i, c in enumerate(table.column_names)}
+        for table in schema.tables
+    }

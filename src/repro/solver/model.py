@@ -1,0 +1,113 @@
+"""Models: satisfying assignments with typed decoding."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.solver.terms import VarInfo
+
+
+class SymbolTable:
+    """Interns string values to integers, per pool, *rank-preserving*.
+
+    Variables in the same pool share an interning table so that equality
+    constraints between them are meaningful, and codes are assigned so
+    that **numeric code order equals lexicographic string order** within
+    the pool — order comparisons (``grade >= 'B'``) translate directly
+    into integer atoms and agree with the engine's string comparisons.
+    New strings get the midpoint code between their lexicographic
+    neighbours (gap halving); pools own disjoint id bands, so accidental
+    cross-pool comparisons can never hold.
+    """
+
+    _POOL_STRIDE = 1 << 42
+    _GAP = 1 << 20
+
+    def __init__(self):
+        #: pool -> sorted list of (value, code)
+        self._pools: dict[str, list[tuple[str, int]]] = {}
+        self._codes: dict[str, dict[str, int]] = {}
+        self._reverse: dict[int, str] = {}
+        self._fresh_counts: dict[str, int] = {}
+
+    def _band(self, pool: str) -> int:
+        if pool not in self._pools:
+            self._pools[pool] = []
+            self._codes[pool] = {}
+        return (list(self._pools).index(pool) + 1) * self._POOL_STRIDE
+
+    def intern(self, pool: str, value: str) -> int:
+        band = self._band(pool)
+        codes = self._codes[pool]
+        if value in codes:
+            return codes[value]
+        entries = self._pools[pool]
+        import bisect
+
+        position = bisect.bisect_left(entries, (value, 0))
+        if not entries:
+            code = band
+        elif position == 0:
+            code = entries[0][1] - self._GAP
+        elif position == len(entries):
+            code = entries[-1][1] + self._GAP
+        else:
+            low = entries[position - 1][1]
+            high = entries[position][1]
+            if high - low < 2:
+                raise OverflowError(
+                    f"interning gap exhausted in pool {pool!r} at {value!r}"
+                )
+            code = (low + high) // 2
+        entries.insert(position, (value, code))
+        codes[value] = code
+        self._reverse[code] = value
+        return code
+
+    def fresh(self, pool: str) -> int:
+        """Intern a new synthetic value for ``pool`` (e.g. ``dept_name~3``)."""
+        count = self._fresh_counts.get(pool, 0) + 1
+        self._fresh_counts[pool] = count
+        return self.intern(pool, f"{pool.rsplit('.', 1)[-1]}~{count}")
+
+    def decode(self, code: int) -> str:
+        return self._reverse[code]
+
+    def known_codes(self, pool: str) -> list[int]:
+        self._band(pool)
+        return sorted(code for _, code in self._pools[pool])
+
+
+@dataclass
+class Model:
+    """A satisfying assignment.
+
+    Attributes:
+        assignment: Variable name -> integer value (interned for strings).
+        infos: Variable metadata used for decoding.
+        symbols: The symbol table that interned the string values.
+    """
+
+    assignment: dict[str, int]
+    infos: dict[str, VarInfo]
+    symbols: SymbolTable
+    stats: dict = field(default_factory=dict)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.assignment
+
+    def raw(self, name: str) -> int:
+        """The integer value of a variable."""
+        return self.assignment[name]
+
+    def value(self, name: str):
+        """The typed (decoded) value of a variable."""
+        code = self.assignment[name]
+        info = self.infos.get(name)
+        if info is not None and info.kind == "str":
+            return self.symbols.decode(code)
+        return code
+
+    def typed_assignment(self) -> dict[str, object]:
+        """The whole model with string codes decoded."""
+        return {name: self.value(name) for name in self.assignment}

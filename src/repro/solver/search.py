@@ -1,0 +1,646 @@
+"""Preprocessing and backtracking search over finite candidate domains.
+
+The pipeline mirrors what makes the paper's unfolded constraints fast for
+CVC3 (Section VI-B and V-H): after unfolding, the constraint set is mostly
+unit equalities, which collapse under union-find into a small number of
+variable classes; the remaining disjunctions and disequalities are decided
+by depth-first search with three-valued (Kleene) constraint evaluation for
+early pruning.
+
+Quantified formulas that were *not* unfolded are handled soundly but
+naively: they are treated as opaque constraints, invisible to the
+union-find/domain preprocessing and re-expanded at every evaluation —
+reproducing, qualitatively, the slow quantified path the paper measured.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import SolverError, SolverLimitError
+from repro.solver.model import Model, SymbolTable
+from repro.solver.terms import (
+    Atom,
+    BoolConst,
+    Conj,
+    Disj,
+    Formula,
+    Linear,
+    Neg,
+    Quantified,
+    VarInfo,
+    formula_variables,
+)
+
+
+@dataclass
+class SearchConfig:
+    """Search tuning knobs."""
+
+    node_limit: int = 500_000
+    fresh_int_values: int = 8
+    fresh_str_values: int = 8
+    max_domain_size: int = 64
+    #: Try values suggested by equality constraints first.  The unfolded
+    #: mode's analogue of seeing through quantifiers; the lazy quantifier
+    #: mode runs with this off (with a fallback on node-limit overrun).
+    enable_suggestions: bool = True
+
+
+@dataclass
+class SearchOutcome:
+    """Result of one search run."""
+
+    model: Model | None
+    nodes: int = 0
+    elapsed: float = 0.0
+    classes: int = 0
+    constraints: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Kleene evaluation
+# ---------------------------------------------------------------------------
+
+
+def eval_formula(formula: Formula, assignment: dict[str, int]) -> bool | None:
+    """Three-valued evaluation under a partial assignment."""
+    if isinstance(formula, Atom):
+        return formula.evaluate(assignment)
+    if isinstance(formula, BoolConst):
+        return formula.value
+    if isinstance(formula, Neg):
+        inner = eval_formula(formula.part, assignment)
+        return None if inner is None else not inner
+    if isinstance(formula, (Conj, Disj)) or isinstance(formula, Quantified):
+        if isinstance(formula, Quantified):
+            parts = formula.instances
+            is_conj = formula.kind == "forall"
+        else:
+            parts = formula.parts
+            is_conj = isinstance(formula, Conj)
+        saw_unknown = False
+        for part in parts:
+            value = eval_formula(part, assignment)
+            if value is None:
+                saw_unknown = True
+            elif value != is_conj:
+                # False part of a conjunction / True part of a disjunction
+                return not is_conj if not is_conj else False
+        if saw_unknown:
+            return None
+        return is_conj
+    raise SolverError(f"cannot evaluate formula {formula!r}")
+
+
+# ---------------------------------------------------------------------------
+# Union-find over equality units
+# ---------------------------------------------------------------------------
+
+
+class _UnionFind:
+    def __init__(self):
+        self._parent: dict[str, str] = {}
+
+    def find(self, var: str) -> str:
+        parent = self._parent.setdefault(var, var)
+        if parent == var:
+            return var
+        root = self.find(parent)
+        self._parent[var] = root
+        return root
+
+    def union(self, a: str, b: str) -> str:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            # Deterministic representative: lexicographically smallest.
+            if rb < ra:
+                ra, rb = rb, ra
+            self._parent[rb] = ra
+        return ra
+
+
+# ---------------------------------------------------------------------------
+# The solver core
+# ---------------------------------------------------------------------------
+
+
+class GroundSearch:
+    """Solve a conjunction of formulas over typed integer variables."""
+
+    def __init__(
+        self,
+        formulas: list[Formula],
+        infos: dict[str, VarInfo],
+        symbols: SymbolTable,
+        config: SearchConfig | None = None,
+    ):
+        self._input = formulas
+        self._infos = infos
+        self._symbols = symbols
+        self._config = config or SearchConfig()
+        self._uf = _UnionFind()
+        self._fixed: dict[str, int] = {}
+        self._constraints: list[Formula] = []
+        self._unsat = False
+
+    # -- preprocessing ------------------------------------------------------
+
+    def _flatten(self) -> list[Formula]:
+        units: list[Atom] = []
+        rest: list[Formula] = []
+        stack = list(self._input)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Conj):
+                stack.extend(node.parts)
+            elif isinstance(node, BoolConst):
+                if not node.value:
+                    self._unsat = True
+            elif isinstance(node, Atom):
+                units.append(node)
+            else:
+                rest.append(node)
+        self._units = units
+        return rest
+
+    def _propagate_units(self) -> None:
+        """Merge equality units and fix constant assignments to fixpoint."""
+        pending = list(self._units)
+        residual: list[Atom] = []
+        changed = True
+        while changed:
+            changed = False
+            next_pending: list[Atom] = []
+            for atom in pending:
+                lin = self._rewrite_linear(atom.lin)
+                atom = Atom(atom.op, lin)
+                free = lin.variables
+                if not free:
+                    if atom.evaluate({}) is False:
+                        self._unsat = True
+                    continue
+                if atom.op == "=" and len(free) == 1:
+                    (name, coef), = lin.coeffs
+                    if lin.const % coef == 0:
+                        value = -lin.const // coef
+                        rep = self._uf.find(name)
+                        if rep in self._fixed and self._fixed[rep] != value:
+                            self._unsat = True
+                        else:
+                            self._fixed[rep] = value
+                            changed = True
+                        continue
+                    self._unsat = True
+                    continue
+                if (
+                    atom.op == "="
+                    and len(free) == 2
+                    and lin.const == 0
+                    and sorted(c for _, c in lin.coeffs) == [-1, 1]
+                ):
+                    a, b = free
+                    if self._kind(a) != self._kind(b) or self._pool(a) != self._pool(b):
+                        raise SolverError(
+                            f"type mismatch merging {a} and {b}"
+                        )
+                    ra, rb = self._uf.find(a), self._uf.find(b)
+                    if ra != rb:
+                        fixed_a = self._fixed.pop(ra, None)
+                        fixed_b = self._fixed.pop(rb, None)
+                        rep = self._uf.union(a, b)
+                        for value in (fixed_a, fixed_b):
+                            if value is None:
+                                continue
+                            if rep in self._fixed and self._fixed[rep] != value:
+                                self._unsat = True
+                            else:
+                                self._fixed[rep] = value
+                        changed = True
+                    continue
+                next_pending.append(atom)
+            pending = next_pending
+        residual = pending
+        self._residual_units = residual
+
+    def _kind(self, var: str) -> str:
+        info = self._infos.get(var)
+        return info.kind if info else "int"
+
+    def _pool(self, var: str) -> str | None:
+        info = self._infos.get(var)
+        return info.pool if info else None
+
+    def _rewrite_linear(self, lin: Linear) -> Linear:
+        coeffs: dict[str, int] = {}
+        constant = lin.const
+        for name, coef in lin.coeffs:
+            rep = self._uf.find(name)
+            if rep in self._fixed:
+                constant += coef * self._fixed[rep]
+            else:
+                coeffs[rep] = coeffs.get(rep, 0) + coef
+        return Linear.build(coeffs, constant)
+
+    def _rewrite_formula(self, formula: Formula) -> Formula:
+        if isinstance(formula, Atom):
+            lin = self._rewrite_linear(formula.lin)
+            atom = Atom(formula.op, lin)
+            if not lin.variables:
+                return BoolConst(bool(atom.evaluate({})))
+            return atom
+        if isinstance(formula, BoolConst):
+            return formula
+        if isinstance(formula, Neg):
+            return Neg(self._rewrite_formula(formula.part))
+        if isinstance(formula, Conj):
+            return Conj(tuple(self._rewrite_formula(p) for p in formula.parts))
+        if isinstance(formula, Disj):
+            return Disj(tuple(self._rewrite_formula(p) for p in formula.parts))
+        if isinstance(formula, Quantified):
+            return Quantified(
+                formula.kind,
+                tuple(self._rewrite_formula(p) for p in formula.instances),
+                formula.label,
+            )
+        raise SolverError(f"cannot rewrite formula {formula!r}")
+
+    # -- domain construction ---------------------------------------------------
+
+    def _universe_key(self, rep: str) -> tuple[str, str | None]:
+        return (self._kind(rep), self._pool(rep))
+
+    def _add_string_witnesses(self, pool: str, code: int) -> None:
+        """Intern strings lexicographically adjacent to ``code``'s string.
+
+        Order comparisons against a string constant need candidate values
+        strictly below and above it; synthetic neighbours keep the pool's
+        rank-preserving code order intact.
+        """
+        try:
+            value = self._symbols.decode(code)
+        except KeyError:
+            return
+        self._symbols.intern(pool, value + "0")  # strictly above
+        if value:
+            first = value[0]
+            if ord(first) > 33:
+                below = chr(ord(first) - 1) + "z"
+                if below < value:
+                    self._symbols.intern(pool, below)
+
+    def _build_domains(
+        self, reps: list[str], constraints: list[Formula]
+    ) -> dict[str, list[int]]:
+        config = self._config
+        # Collect integer constants relevant to each universe.
+        int_candidates: set[int] = {0, 1, 2}
+        offsets: set[int] = set()
+        # String pools: order atoms against interned constants need
+        # lexicographic boundary witnesses (a value just below / above).
+        str_witness_pools: set[str] = set()
+        for formula in constraints + list(self._residual_units):
+            for atom in _formula_atoms(formula):
+                n_vars = len(atom.lin.variables)
+                kinds = {self._kind(v) for v in atom.lin.variables}
+                if kinds == {"str"}:
+                    if atom.op in ("<", "<=") and n_vars == 1:
+                        (name, coef), = atom.lin.coeffs
+                        code = -atom.lin.const // coef if coef else None
+                        pool = self._pool(name)
+                        if code is not None and pool is not None:
+                            self._add_string_witnesses(pool, code)
+                    continue
+                if n_vars == 1:
+                    (name, coef), = atom.lin.coeffs
+                    # Witnesses around the break-point of the atom.
+                    for delta in (-1, 0, 1):
+                        value, rem = divmod(-atom.lin.const, coef)
+                        int_candidates.add(value + delta)
+                elif n_vars >= 2 and atom.lin.const != 0:
+                    offsets.add(abs(atom.lin.const))
+        for rep in reps:
+            if self._kind(rep) == "int":
+                for info in self._member_infos(rep):
+                    int_candidates.update(info.preferred)
+        for value in self._fixed.values():
+            if value < SymbolTable._POOL_STRIDE:
+                int_candidates.add(value)
+        # One closure round under two-variable offsets.
+        if offsets:
+            base = set(int_candidates)
+            for value in base:
+                for offset in offsets:
+                    int_candidates.add(value + offset)
+                    int_candidates.add(value - offset)
+        fresh_base = max(int_candidates, default=0) + 10
+        for i in range(config.fresh_int_values):
+            int_candidates.add(fresh_base + i)
+        int_domain = sorted(int_candidates)
+
+        domains: dict[str, list[int]] = {}
+        str_universe_cache: dict[str | None, list[int]] = {}
+        for rep in reps:
+            kind, pool = self._universe_key(rep)
+            if kind == "int":
+                candidates = list(int_domain)
+            else:
+                if pool not in str_universe_cache:
+                    known = set(self._symbols.known_codes(pool))
+                    for _ in range(config.fresh_str_values):
+                        known.add(self._symbols.fresh(pool))
+                    str_universe_cache[pool] = sorted(known)
+                candidates = list(str_universe_cache[pool])
+            preferred: list[int] = []
+            seen: set[int] = set()
+            for info in self._member_infos(rep):
+                for value in info.preferred:
+                    if value in set(candidates) and value not in seen:
+                        preferred.append(value)
+                        seen.add(value)
+            ordered = preferred + [v for v in candidates if v not in seen]
+            if len(ordered) > config.max_domain_size:
+                ordered = ordered[: config.max_domain_size]
+            domains[rep] = ordered
+        return domains
+
+    def _member_infos(self, rep: str):
+        for name, info in self._infos.items():
+            if self._uf.find(name) == rep:
+                yield info
+
+    # -- search -------------------------------------------------------------------
+
+    def run(self) -> SearchOutcome:
+        start = time.perf_counter()
+        rest = self._flatten()
+        self._propagate_units()
+        if self._unsat:
+            return SearchOutcome(None, elapsed=time.perf_counter() - start)
+        constraints: list[Formula] = []
+        for formula in rest + list(self._residual_units):
+            rewritten = self._rewrite_formula(formula)
+            if not formula_variables(rewritten):
+                # Variable-free after substitution: decide it now — it
+                # would never be re-evaluated by the watch scheme below.
+                if eval_formula(rewritten, {}) is not True:
+                    return SearchOutcome(
+                        None, elapsed=time.perf_counter() - start
+                    )
+                continue
+            constraints.append(rewritten)
+
+        # Representatives that still need values.
+        reps: set[str] = set()
+        for name in self._infos:
+            rep = self._uf.find(name)
+            if rep not in self._fixed:
+                reps.add(rep)
+        for formula in constraints:
+            for name in formula_variables(formula):
+                if name not in self._fixed:
+                    reps.add(name)
+        rep_list = sorted(reps)
+        domains = self._build_domains(rep_list, constraints)
+
+        # Prune domains with single-variable constraints; index the rest.
+        watch: dict[str, list[int]] = {rep: [] for rep in rep_list}
+        active: list[Formula] = []
+        for formula in constraints:
+            variables = sorted(formula_variables(formula))
+            if len(variables) == 1:
+                # Any single-variable constraint — an atom, or e.g. an
+                # input-database EXISTS disjunction (Section VI-A) — is a
+                # domain restriction; apply it up front.
+                rep = variables[0]
+                domains[rep] = [
+                    v
+                    for v in domains[rep]
+                    if eval_formula(formula, {rep: v}) is True
+                ]
+                continue
+            index = len(active)
+            active.append(formula)
+            for rep in variables:
+                if rep in watch:
+                    watch[rep].append(index)
+        for rep in rep_list:
+            if not domains[rep]:
+                return SearchOutcome(
+                    None,
+                    elapsed=time.perf_counter() - start,
+                    classes=len(rep_list),
+                    constraints=len(active),
+                )
+
+        # Assign constrained classes first, in constraint-graph order so each
+        # new variable shares a constraint with an already-assigned one and
+        # failures surface immediately.  Unconstrained classes go last.
+        constrained = [rep for rep in rep_list if watch[rep]]
+        free = [rep for rep in rep_list if not watch[rep]]
+        constrained.sort(key=lambda r: (len(domains[r]), -len(watch[r]), r))
+        order = _connected_order_of(constrained, active, watch) + free
+
+        assignment: dict[str, int] = {}
+        nodes = 0
+        limit = self._config.node_limit
+
+        def harvest(formula: Formula, rep: str, out: list[Atom]) -> None:
+            """Collect atoms worth steering ``rep`` by, context-sensitively.
+
+            Inside a disjunction only the *first* not-yet-false disjunct
+            is considered: satisfying it satisfies the constraint, and
+            harvesting deeper alternatives is what used to drag primary
+            keys equal through the chase implication's second disjunct.
+            Negations contribute nothing (their atoms are already
+            negated by the builders in NNF positions we emit).
+            """
+            if isinstance(formula, Atom):
+                if any(name == rep for name, _ in formula.lin.coeffs):
+                    out.append(formula)
+                return
+            if isinstance(formula, Conj):
+                for part in formula.parts:
+                    harvest(part, rep, out)
+                return
+            if isinstance(formula, Quantified) and formula.kind == "forall":
+                for part in formula.instances:
+                    harvest(part, rep, out)
+                return
+            parts = None
+            if isinstance(formula, Disj):
+                parts = formula.parts
+            elif isinstance(formula, Quantified):  # exists
+                parts = formula.instances
+            if parts is not None:
+                for part in parts:
+                    if eval_formula(part, assignment) is False:
+                        continue
+                    harvest(part, rep, out)
+                    return
+
+        def ordered_values(rep: str) -> list[int]:
+            domain = domains[rep]
+            if not self._config.enable_suggestions:
+                return domain
+            suggestions: list[int] = []
+            avoided: list[int] = []
+            atoms: list[Atom] = []
+            for index in watch[rep]:
+                if eval_formula(active[index], assignment) is True:
+                    continue
+                harvest(active[index], rep, atoms)
+            for atom in atoms:
+                total = atom.lin.const
+                coef_of_rep = 0
+                ready = True
+                for name, coef in atom.lin.coeffs:
+                    if name == rep:
+                        coef_of_rep = coef
+                        continue
+                    value = assignment.get(name)
+                    if value is None:
+                        ready = False
+                        break
+                    total += coef * value
+                if not ready or coef_of_rep not in (1, -1):
+                    continue
+                value, remainder = divmod(-total, coef_of_rep)
+                if atom.op == "=":
+                    if remainder == 0 and value not in suggestions:
+                        suggestions.append(value)
+                elif atom.op == "<>":
+                    # Defer the forbidden value instead of colliding into
+                    # it through the shared domain ordering.
+                    if remainder == 0 and value not in avoided:
+                        avoided.append(value)
+                elif atom.op == "<":
+                    witness = value - 1 if coef_of_rep > 0 else value + 1
+                    if witness not in suggestions:
+                        suggestions.append(witness)
+                else:  # "<=" — the boundary witness suffices either way.
+                    witness = value
+                    if witness not in suggestions:
+                        suggestions.append(witness)
+            if not suggestions and not avoided:
+                return domain
+            domain_set = set(domain)
+            head = [v for v in suggestions if v in domain_set]
+            head_set = set(head)
+            avoided_set = set(avoided) - head_set
+            middle = [
+                v for v in domain if v not in head_set and v not in avoided_set
+            ]
+            tail = [v for v in domain if v in avoided_set]
+            return head + middle + tail
+
+        constraint_vars = [frozenset(formula_variables(f)) for f in active]
+
+        def backtrack(position: int):
+            """Conflict-directed backjumping search.
+
+            Returns True on success, or the *conflict set* — the variables
+            responsible for the dead end.  A caller whose variable is not
+            in the conflict set passes it straight up without trying its
+            remaining values: re-assigning an irrelevant variable cannot
+            resolve the conflict (this is what keeps a failing pair like
+            the two operands of a sum constraint from re-enumerating every
+            unrelated variable ordered between them).
+            """
+            nonlocal nodes
+            if position == len(order):
+                return True
+            rep = order[position]
+            conflict: set[str] = set()
+            for value in ordered_values(rep):
+                nodes += 1
+                if nodes > limit:
+                    raise SolverLimitError(
+                        f"search exceeded {limit} nodes"
+                    )
+                assignment[rep] = value
+                failed_index = -1
+                for index in watch[rep]:
+                    if eval_formula(active[index], assignment) is False:
+                        failed_index = index
+                        break
+                if failed_index >= 0:
+                    conflict |= constraint_vars[failed_index]
+                    del assignment[rep]
+                    continue
+                result = backtrack(position + 1)
+                if result is True:
+                    return True
+                del assignment[rep]
+                if rep not in result:
+                    return result
+                conflict |= result
+            conflict.discard(rep)
+            return conflict
+
+        found = backtrack(0) is True
+        elapsed = time.perf_counter() - start
+        if not found:
+            return SearchOutcome(
+                None, nodes=nodes, elapsed=elapsed,
+                classes=len(rep_list), constraints=len(active),
+            )
+        assignment.update(self._fixed)
+        full: dict[str, int] = {}
+        for name in self._infos:
+            rep = self._uf.find(name)
+            full[name] = assignment[rep]
+        # Classes created only through constraints (no VarInfo) stay internal.
+        model = Model(full, dict(self._infos), self._symbols)
+        return SearchOutcome(
+            model, nodes=nodes, elapsed=elapsed,
+            classes=len(rep_list), constraints=len(active),
+        )
+
+
+def _connected_order_of(
+    seeds: list[str],
+    active: list[Formula],
+    watch: dict[str, list[int]],
+) -> list[str]:
+    """Greedy constraint-graph traversal starting from the hardest seed."""
+    if not seeds:
+        return []
+    constraint_vars = [sorted(formula_variables(f)) for f in active]
+    order: list[str] = []
+    placed: set[str] = set()
+    pending = list(seeds)
+    while pending:
+        start = next(p for p in pending if p not in placed)
+        queue = [start]
+        while queue:
+            rep = queue.pop(0)
+            if rep in placed:
+                continue
+            placed.add(rep)
+            order.append(rep)
+            neighbours: list[str] = []
+            for index in watch.get(rep, ()):
+                neighbours.extend(constraint_vars[index])
+            for other in neighbours:
+                if other not in placed and other in watch:
+                    queue.append(other)
+        pending = [p for p in pending if p not in placed]
+    return order
+
+
+def _formula_atoms(formula: Formula) -> list[Atom]:
+    out: list[Atom] = []
+    stack = [formula]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Atom):
+            out.append(node)
+        elif isinstance(node, (Conj, Disj)):
+            stack.extend(node.parts)
+        elif isinstance(node, Neg):
+            stack.append(node.part)
+        elif isinstance(node, Quantified):
+            stack.extend(node.instances)
+    return out

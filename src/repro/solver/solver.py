@@ -1,0 +1,273 @@
+"""The :class:`Solver` facade.
+
+Owns variable declarations, the string symbol table and the asserted
+formula set; dispatches to :class:`~repro.solver.search.GroundSearch`
+with or without quantifier unfolding (Section VI-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnsatisfiableError
+from repro.solver.model import Model, SymbolTable
+from repro.solver.search import GroundSearch, SearchConfig
+from repro.solver.terms import (
+    Conj,
+    Disj,
+    Formula,
+    Linear,
+    Neg,
+    Quantified,
+    VarInfo,
+)
+
+
+@dataclass
+class SolveStats:
+    """Statistics from the last :meth:`Solver.solve` call."""
+
+    satisfiable: bool
+    nodes: int
+    elapsed: float
+    classes: int
+    constraints: int
+    unfolded: bool
+    iterations: int = 1
+
+
+def unfold_formula(formula: Formula) -> Formula:
+    """Recursively expand every bounded quantifier into ground form."""
+    if isinstance(formula, Quantified):
+        expanded = tuple(unfold_formula(p) for p in formula.instances)
+        if formula.kind == "forall":
+            return Conj(expanded)
+        return Disj(expanded)
+    if isinstance(formula, Conj):
+        return Conj(tuple(unfold_formula(p) for p in formula.parts))
+    if isinstance(formula, Disj):
+        return Disj(tuple(unfold_formula(p) for p in formula.parts))
+    if isinstance(formula, Neg):
+        return Neg(unfold_formula(formula.part))
+    return formula
+
+
+def _contains_quantifier(formula: Formula) -> bool:
+    if isinstance(formula, Quantified):
+        return True
+    if isinstance(formula, (Conj, Disj)):
+        return any(_contains_quantifier(p) for p in formula.parts)
+    if isinstance(formula, Neg):
+        return _contains_quantifier(formula.part)
+    return False
+
+
+def _instance_count(formula: Formula) -> int:
+    if isinstance(formula, Quantified):
+        return sum(_instance_count(p) for p in formula.instances) + len(
+            formula.instances
+        )
+    if isinstance(formula, (Conj, Disj)):
+        return sum(_instance_count(p) for p in formula.parts)
+    if isinstance(formula, Neg):
+        return _instance_count(formula.part)
+    return 0
+
+
+def _violated_parts(formula: Formula, assignment: dict[str, int]) -> list[Formula]:
+    """Instances to assert after a failed quantifier check.
+
+    For a violated FORALL, the specific false instances are learned (the
+    classic conflict-instantiation step).  Violated EXISTS constraints and
+    anything nested get their full unfolding asserted — the solver cannot
+    know *which* disjunct to satisfy.
+    """
+    from repro.solver.search import eval_formula
+
+    if isinstance(formula, Quantified) and formula.kind == "forall":
+        learned = []
+        for instance in formula.instances:
+            if eval_formula(instance, assignment) is not True:
+                if _contains_quantifier(instance):
+                    learned.append(unfold_formula(instance))
+                else:
+                    learned.append(instance)
+        return learned or [unfold_formula(formula)]
+    return [unfold_formula(formula)]
+
+
+class Solver:
+    """Collects variables and constraints; produces models.
+
+    Example::
+
+        solver = Solver()
+        x = solver.int_var("r[0].a")
+        y = solver.int_var("r[0].b", preferred=(5,))
+        solver.add(builders.eq(x, y + builders.const(10)))
+        model = solver.solve()
+        assert model.raw("r[0].a") == model.raw("r[0].b") + 10
+    """
+
+    def __init__(self, config: SearchConfig | None = None):
+        self.symbols = SymbolTable()
+        self._infos: dict[str, VarInfo] = {}
+        self._formulas: list[Formula] = []
+        self.config = config or SearchConfig()
+        self.last_stats: SolveStats | None = None
+
+    # -- variable declaration ------------------------------------------------
+
+    def int_var(self, name: str, preferred: tuple[int, ...] = ()) -> Linear:
+        """Declare (or re-reference) an integer variable."""
+        if name not in self._infos:
+            self._infos[name] = VarInfo(name, "int", None, tuple(preferred))
+        return Linear.of_var(name)
+
+    def str_var(
+        self, name: str, pool: str, preferred_values: tuple[str, ...] = ()
+    ) -> Linear:
+        """Declare a string variable interned against ``pool``."""
+        if name not in self._infos:
+            preferred = tuple(
+                self.symbols.intern(pool, value) for value in preferred_values
+            )
+            self._infos[name] = VarInfo(name, "str", pool, preferred)
+        return Linear.of_var(name)
+
+    def has_var(self, name: str) -> bool:
+        return name in self._infos
+
+    def info(self, name: str) -> VarInfo:
+        return self._infos[name]
+
+    def intern(self, pool: str, value: str) -> int:
+        """Intern a string constant for use in constraints."""
+        return self.symbols.intern(pool, value)
+
+    # -- constraints ---------------------------------------------------------------
+
+    def add(self, formula: Formula) -> None:
+        """Assert a formula (conjunction with everything already added)."""
+        self._formulas.append(formula)
+
+    def add_all(self, formulas) -> None:
+        for formula in formulas:
+            self.add(formula)
+
+    @property
+    def formulas(self) -> list[Formula]:
+        return list(self._formulas)
+
+    # -- solving ---------------------------------------------------------------------
+
+    def solve(self, unfold: bool = True) -> Model | None:
+        """Search for a model; returns ``None`` when unsatisfiable.
+
+        Args:
+            unfold: If True (the paper's optimised mode, Section VI-B)
+                every bounded quantifier is expanded into ground
+                conjunctions or disjunctions before preprocessing, so
+                equalities inside quantifiers participate in union-find
+                collapsing and value suggestion.  If False, quantified
+                constraints are handled the way quantifier-instantiating
+                solvers of the CVC3 era did: solve the ground part, check
+                the quantified constraints against the candidate model,
+                assert the violated instances, and restart — reproducing
+                the paper's slow "without unfolding" configuration.
+        """
+        if unfold:
+            formulas = [unfold_formula(f) for f in self._formulas]
+            outcome = GroundSearch(
+                formulas, dict(self._infos), self.symbols, self.config
+            ).run()
+            self.last_stats = SolveStats(
+                satisfiable=outcome.model is not None,
+                nodes=outcome.nodes,
+                elapsed=outcome.elapsed,
+                classes=outcome.classes,
+                constraints=outcome.constraints,
+                unfolded=True,
+            )
+            return outcome.model
+        return self._solve_lazy()
+
+    def _solve_lazy(self) -> Model | None:
+        """Lazy quantifier instantiation with restarts (slow path).
+
+        Runs the per-restart ground search without equality-suggestion
+        value ordering — the search-level counterpart of the solver not
+        seeing through quantifiers.  If a restart overruns the node
+        budget, it is retried once with suggestions enabled so the slow
+        mode always terminates (its time is reported either way).
+        """
+        import dataclasses
+
+        from repro.errors import SolverLimitError
+        from repro.solver.search import eval_formula
+
+        ground: list[Formula] = []
+        quantified: list[Formula] = []
+        for formula in self._formulas:
+            if _contains_quantifier(formula):
+                quantified.append(formula)
+            else:
+                ground.append(formula)
+        instance_budget = 10 + sum(
+            _instance_count(f) for f in quantified
+        )
+        naive_config = dataclasses.replace(
+            self.config, enable_suggestions=False
+        )
+        learned: list[Formula] = []
+        nodes = 0
+        elapsed = 0.0
+        iterations = 0
+        while True:
+            iterations += 1
+            if iterations > instance_budget:
+                raise SolverLimitError(
+                    f"lazy instantiation exceeded {instance_budget} restarts"
+                )
+            try:
+                outcome = GroundSearch(
+                    ground + learned, dict(self._infos), self.symbols,
+                    naive_config,
+                ).run()
+            except SolverLimitError:
+                outcome = GroundSearch(
+                    ground + learned, dict(self._infos), self.symbols,
+                    self.config,
+                ).run()
+            nodes += outcome.nodes
+            elapsed += outcome.elapsed
+            if outcome.model is None:
+                self.last_stats = SolveStats(
+                    False, nodes, elapsed, outcome.classes,
+                    outcome.constraints, unfolded=False, iterations=iterations,
+                )
+                return None
+            assignment = outcome.model.assignment
+            # Conservative conflict instantiation: learn from the first
+            # violated quantifier only, then restart — the restart count
+            # grows with the number of quantified constraints, which is
+            # what makes the non-unfolded mode degrade with query size.
+            new_instances: list[Formula] = []
+            for formula in quantified:
+                if eval_formula(formula, assignment) is not True:
+                    new_instances.extend(_violated_parts(formula, assignment))
+                    break
+            if not new_instances:
+                self.last_stats = SolveStats(
+                    True, nodes, elapsed, outcome.classes,
+                    outcome.constraints, unfolded=False, iterations=iterations,
+                )
+                return outcome.model
+            learned.extend(new_instances)
+
+    def require_model(self, unfold: bool = True) -> Model:
+        """Like :meth:`solve` but raises on UNSAT."""
+        model = self.solve(unfold=unfold)
+        if model is None:
+            raise UnsatisfiableError("constraints are unsatisfiable")
+        return model

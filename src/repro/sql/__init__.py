@@ -1,0 +1,44 @@
+"""SQL substrate: lexer, AST, parser and printer for the XData query class.
+
+The paper's implementation parsed SQL with the Apache Derby parser; this
+package provides a purpose-built replacement covering exactly the query
+class the paper handles (single-block SELECT queries with inner and outer
+joins, conjunctive WHERE clauses, simple arithmetic, and unconstrained
+aggregation — assumptions A1-A8 of the paper).
+"""
+
+from repro.sql.ast import (
+    Aggregate,
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    Join,
+    JoinKind,
+    Literal,
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+)
+from repro.sql.lexer import Token, TokenKind, tokenize
+from repro.sql.parser import parse_query
+from repro.sql.printer import to_sql
+
+__all__ = [
+    "Aggregate",
+    "BinaryOp",
+    "ColumnRef",
+    "Comparison",
+    "Join",
+    "JoinKind",
+    "Literal",
+    "Query",
+    "SelectItem",
+    "Star",
+    "TableRef",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse_query",
+    "to_sql",
+]

@@ -1,0 +1,352 @@
+"""Abstract syntax tree for the supported SQL query class.
+
+The AST mirrors the paper's query class (Section II): single-block
+SELECT queries over a FROM clause of base tables and join expressions,
+a conjunctive WHERE clause, optional GROUP BY, and aggregate functions
+in the select list.  Nodes are immutable dataclasses so they can be
+shared freely between query trees and mutants.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Marker base class for scalar expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A (possibly qualified) column reference, e.g. ``t.id`` or ``name``.
+
+    Attributes:
+        table: Qualifier (table name or alias), or ``None`` if unqualified.
+        column: Column name.
+    """
+
+    table: str | None
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A numeric or string constant."""
+
+    value: int | float | str
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """A simple arithmetic expression ``left op right`` (op in ``+ - * /``)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` or ``t.*`` in a select list or inside COUNT(*)."""
+
+    table: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.*" if self.table else "*"
+
+
+#: Aggregate function names supported by the mutation space (Section II).
+AGGREGATE_FUNCS = ("MIN", "MAX", "SUM", "AVG", "COUNT")
+
+
+@dataclass(frozen=True)
+class Aggregate(Expr):
+    """An aggregate function application, e.g. ``SUM(DISTINCT t.credits)``.
+
+    Attributes:
+        func: One of :data:`AGGREGATE_FUNCS`.
+        arg: The aggregated expression; :class:`Star` only for COUNT(*).
+        distinct: Whether the DISTINCT qualifier is present.
+    """
+
+    func: str
+    arg: Expr
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        inner = f"DISTINCT {self.arg}" if self.distinct else str(self.arg)
+        return f"{self.func}({inner})"
+
+
+# ---------------------------------------------------------------------------
+# Predicates
+# ---------------------------------------------------------------------------
+
+#: Comparison operators in the mutation space, in canonical order.
+COMPARISON_OPS = ("=", "<", ">", "<=", ">=", "<>")
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A simple condition ``left op right`` (assumption A5).
+
+    WHERE and ON clauses are conjunctions of these; the parser flattens
+    AND chains into lists of :class:`Comparison`.
+    """
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unsupported comparison operator {self.op!r}")
+
+    def with_op(self, op: str) -> "Comparison":
+        """Return a copy of this comparison with a different operator."""
+        return Comparison(op, self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class NullTest:
+    """An ``expr IS [NOT] NULL`` predicate conjunct.
+
+    Lifts the paper's assumption A6, which existed only because CVC3
+    could not model NULL; see :mod:`repro.core.kill_nulltest` for the
+    generation strategy and its restrictions.
+    """
+
+    expr: "ColumnRef"
+    negated: bool = False
+
+    def flipped(self) -> "NullTest":
+        """The IS NULL <-> IS NOT NULL mutant of this conjunct."""
+        return NullTest(self.expr, not self.negated)
+
+    def __str__(self) -> str:
+        keyword = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"{self.expr} {keyword}"
+
+
+@dataclass(frozen=True)
+class Exists:
+    """An ``EXISTS (SELECT ...)`` predicate conjunct.
+
+    Supported only as input to :func:`repro.core.decorrelate.decorrelate`,
+    which rewrites it into a join (Section V-H of the paper); the engine
+    and generator work on decorrelated queries.
+    """
+
+    query: "Query"
+
+    def __str__(self) -> str:
+        return f"EXISTS (...)"
+
+
+@dataclass(frozen=True)
+class InSubquery:
+    """An ``expr IN (SELECT col FROM ...)`` predicate conjunct.
+
+    Like :class:`Exists`, handled via decorrelation only.
+    """
+
+    expr: Expr
+    query: "Query"
+
+    def __str__(self) -> str:
+        return f"{self.expr} IN (...)"
+
+
+#: A WHERE-clause conjunct: plain comparison or a subquery predicate.
+Predicate = "Comparison | Exists | InSubquery"
+
+
+# ---------------------------------------------------------------------------
+# FROM clause
+# ---------------------------------------------------------------------------
+
+
+class JoinKind(enum.Enum):
+    """Join operator type; values are the SQL spellings."""
+
+    INNER = "JOIN"
+    LEFT = "LEFT OUTER JOIN"
+    RIGHT = "RIGHT OUTER JOIN"
+    FULL = "FULL OUTER JOIN"
+    CROSS = "CROSS JOIN"
+
+    @property
+    def is_outer(self) -> bool:
+        return self in (JoinKind.LEFT, JoinKind.RIGHT, JoinKind.FULL)
+
+
+class FromItem:
+    """Marker base class for FROM-clause items."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class TableRef(FromItem):
+    """A base-table reference with an optional alias.
+
+    Attributes:
+        name: Table name as it appears in the catalog.
+        alias: Alias introduced with ``AS`` (or bare), if any.
+    """
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The name this occurrence is known by in the rest of the query."""
+        return self.alias or self.name
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.alias}" if self.alias else self.name
+
+
+@dataclass(frozen=True)
+class Join(FromItem):
+    """An explicit join between two FROM items.
+
+    Attributes:
+        kind: Join operator type.
+        left: Left input.
+        right: Right input.
+        condition: Conjunction of ON-clause comparisons (empty for NATURAL
+            and CROSS joins).
+        natural: True for NATURAL joins; the join columns are resolved
+            against the catalog during analysis.
+    """
+
+    kind: JoinKind
+    left: FromItem
+    right: FromItem
+    condition: tuple[Comparison, ...] = ()
+    natural: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Query
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One item in the select list: an expression plus optional alias."""
+
+    expr: Expr
+    alias: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.expr} AS {self.alias}" if self.alias else str(self.expr)
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed single-block SQL query.
+
+    Attributes:
+        select_items: The select list (may contain :class:`Star`).
+        from_items: Comma-separated FROM items (each possibly a join tree).
+        where: Conjunction of WHERE-clause comparisons.
+        group_by: GROUP BY columns (empty when absent).
+        distinct: True for ``SELECT DISTINCT`` (parsed but outside the
+            mutation space, per Section II footnote 2).
+    """
+
+    select_items: tuple[SelectItem, ...]
+    from_items: tuple[FromItem, ...]
+    where: tuple = ()  # Comparison | Exists | InSubquery conjuncts
+    group_by: tuple[ColumnRef, ...] = field(default_factory=tuple)
+    distinct: bool = False
+    #: HAVING conjuncts (comparisons over aggregates) — the constrained
+    #: aggregation extension; empty for the paper's core query class.
+    having: tuple[Comparison, ...] = ()
+
+    @property
+    def has_aggregates(self) -> bool:
+        """True if any select item contains an aggregate function."""
+        return any(contains_aggregate(item.expr) for item in self.select_items)
+
+    @property
+    def has_subquery_predicates(self) -> bool:
+        """True if any WHERE conjunct is EXISTS / IN (SELECT ...)."""
+        return any(isinstance(p, (Exists, InSubquery)) for p in self.where)
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    """Return True if ``expr`` contains an :class:`Aggregate` node."""
+    if isinstance(expr, Aggregate):
+        return True
+    if isinstance(expr, BinaryOp):
+        return contains_aggregate(expr.left) or contains_aggregate(expr.right)
+    return False
+
+
+def expr_columns(expr: Expr) -> list[ColumnRef]:
+    """Collect all column references in ``expr``, in left-to-right order."""
+    out: list[ColumnRef] = []
+
+    def walk(node: Expr) -> None:
+        if isinstance(node, ColumnRef):
+            out.append(node)
+        elif isinstance(node, BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, Aggregate):
+            walk(node.arg)
+
+    walk(expr)
+    return out
+
+
+def comparison_columns(pred: Comparison) -> list[ColumnRef]:
+    """Collect all column references in a comparison."""
+    return expr_columns(pred.left) + expr_columns(pred.right)
+
+
+def iter_table_refs(item: FromItem) -> list[TableRef]:
+    """Flatten a FROM item into its base-table references, left to right."""
+    if isinstance(item, TableRef):
+        return [item]
+    if isinstance(item, Join):
+        return iter_table_refs(item.left) + iter_table_refs(item.right)
+    raise TypeError(f"unexpected FROM item {item!r}")
+
+
+def query_table_refs(query: Query) -> list[TableRef]:
+    """All base-table references of a query, in FROM-clause order."""
+    refs: list[TableRef] = []
+    for item in query.from_items:
+        refs.extend(iter_table_refs(item))
+    return refs

@@ -1,0 +1,147 @@
+"""Tokeniser for the supported SQL dialect.
+
+Produces a flat list of :class:`Token` objects.  Keywords are recognised
+case-insensitively and normalised to upper case; identifiers preserve their
+original spelling but compare case-insensitively elsewhere in the library.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import LexError
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "op"  # comparison / arithmetic operators and punctuation
+    EOF = "eof"
+
+
+#: Reserved words recognised as keywords (upper-cased).
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "HAVING",
+        "AS", "ON", "AND", "OR", "NOT", "JOIN", "INNER", "LEFT", "RIGHT",
+        "FULL", "OUTER", "CROSS", "NATURAL", "DISTINCT", "ALL",
+        "MIN", "MAX", "SUM", "AVG", "COUNT",
+        "IS", "NULL", "IN", "EXISTS", "BETWEEN", "LIKE", "UNION",
+        "CREATE", "TABLE", "PRIMARY", "FOREIGN", "KEY", "REFERENCES",
+        "INT", "INTEGER", "VARCHAR", "CHAR", "NUMERIC", "DECIMAL",
+        "FLOAT", "REAL", "DATE", "TEXT",
+        "ASC", "DESC", "LIMIT",
+    }
+)
+
+#: Multi-character operators, longest first so ``<=`` wins over ``<``.
+_MULTI_OPS = ("<>", "<=", ">=", "!=")
+_SINGLE_OPS = "=<>+-*/(),.;"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        kind: Lexical category.
+        value: Normalised text (keywords upper-cased; ``!=`` becomes ``<>``).
+        position: Offset of the first character in the source text.
+    """
+
+    kind: TokenKind
+    value: str
+    position: int
+
+    def matches(self, kind: TokenKind, value: str | None = None) -> bool:
+        """Return True if this token has the given kind (and value, if set)."""
+        if self.kind is not kind:
+            return False
+        return value is None or self.value == value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.value!r}@{self.position})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenise ``text`` into a list of tokens ending with an EOF token.
+
+    Raises:
+        LexError: On unterminated strings or unrecognised characters.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):  # line comment
+            j = text.find("\n", i)
+            i = n if j < 0 else j + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            buf: list[str] = []
+            while True:
+                if j >= n:
+                    raise LexError("unterminated string literal", text, i)
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":  # escaped quote
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                buf.append(text[j])
+                j += 1
+            tokens.append(Token(TokenKind.STRING, "".join(buf), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A dot not followed by a digit is a qualifier, not a decimal.
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token(TokenKind.NUMBER, text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenKind.IDENT, word, i))
+            i = j
+            continue
+        matched = False
+        for op in _MULTI_OPS:
+            if text.startswith(op, i):
+                value = "<>" if op == "!=" else op
+                tokens.append(Token(TokenKind.OP, value, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _SINGLE_OPS:
+            tokens.append(Token(TokenKind.OP, ch, i))
+            i += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", text, i)
+    tokens.append(Token(TokenKind.EOF, "", n))
+    return tokens

@@ -1,0 +1,119 @@
+"""Render AST nodes back to SQL text.
+
+``parse_query(to_sql(q))`` round-trips to an equal AST (modulo redundant
+parentheses), which the property-based tests rely on.  The printer is also
+what the mutation harness uses to show mutants to humans and to log the
+queries executed by the kill-checker.
+"""
+
+from __future__ import annotations
+
+from repro.sql.ast import (
+    Aggregate,
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FromItem,
+    Join,
+    JoinKind,
+    Literal,
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+)
+
+_JOIN_SQL = {
+    JoinKind.INNER: "JOIN",
+    JoinKind.LEFT: "LEFT OUTER JOIN",
+    JoinKind.RIGHT: "RIGHT OUTER JOIN",
+    JoinKind.FULL: "FULL OUTER JOIN",
+    JoinKind.CROSS: "CROSS JOIN",
+}
+
+
+def expr_to_sql(expr: Expr) -> str:
+    """Render a scalar expression."""
+    if isinstance(expr, ColumnRef):
+        return f"{expr.table}.{expr.column}" if expr.table else expr.column
+    if isinstance(expr, Literal):
+        if isinstance(expr.value, str):
+            escaped = expr.value.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(expr.value) if isinstance(expr.value, float) else str(expr.value)
+    if isinstance(expr, BinaryOp):
+        return f"({expr_to_sql(expr.left)} {expr.op} {expr_to_sql(expr.right)})"
+    if isinstance(expr, Star):
+        return f"{expr.table}.*" if expr.table else "*"
+    if isinstance(expr, Aggregate):
+        inner = expr_to_sql(expr.arg)
+        if expr.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{expr.func}({inner})"
+    raise TypeError(f"cannot render expression {expr!r}")
+
+
+def predicate_to_sql(pred) -> str:
+    """Render one WHERE conjunct (comparison, null test or subquery)."""
+    from repro.sql.ast import Exists, InSubquery, NullTest
+
+    if isinstance(pred, Exists):
+        return f"EXISTS ({to_sql(pred.query)})"
+    if isinstance(pred, InSubquery):
+        return f"{expr_to_sql(pred.expr)} IN ({to_sql(pred.query)})"
+    if isinstance(pred, NullTest):
+        keyword = "IS NOT NULL" if pred.negated else "IS NULL"
+        return f"{expr_to_sql(pred.expr)} {keyword}"
+    return f"{expr_to_sql(pred.left)} {pred.op} {expr_to_sql(pred.right)}"
+
+
+def conjunction_to_sql(preds) -> str:
+    """Render a conjunction of comparisons joined by AND."""
+    return " AND ".join(predicate_to_sql(p) for p in preds)
+
+
+def from_item_to_sql(item: FromItem) -> str:
+    """Render a FROM item (table reference or join tree)."""
+    if isinstance(item, TableRef):
+        return f"{item.name} {item.alias}" if item.alias else item.name
+    if isinstance(item, Join):
+        left = from_item_to_sql(item.left)
+        right = from_item_to_sql(item.right)
+        if isinstance(item.right, Join):
+            right = f"({right})"
+        if isinstance(item.left, Join):
+            left = f"({left})"
+        keyword = _JOIN_SQL[item.kind]
+        if item.natural:
+            keyword = f"NATURAL {keyword}"
+        text = f"{left} {keyword} {right}"
+        if item.condition:
+            text += f" ON {conjunction_to_sql(item.condition)}"
+        return text
+    raise TypeError(f"cannot render FROM item {item!r}")
+
+
+def _select_item_to_sql(item: SelectItem) -> str:
+    text = expr_to_sql(item.expr)
+    return f"{text} AS {item.alias}" if item.alias else text
+
+
+def to_sql(query: Query) -> str:
+    """Render a full query back to SQL text."""
+    parts = ["SELECT"]
+    if query.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_select_item_to_sql(s) for s in query.select_items))
+    parts.append("FROM")
+    parts.append(", ".join(from_item_to_sql(f) for f in query.from_items))
+    if query.where:
+        parts.append("WHERE")
+        parts.append(conjunction_to_sql(query.where))
+    if query.group_by:
+        parts.append("GROUP BY")
+        parts.append(", ".join(expr_to_sql(c) for c in query.group_by))
+    if query.having:
+        parts.append("HAVING")
+        parts.append(conjunction_to_sql(query.having))
+    return " ".join(parts)

@@ -1,0 +1,21 @@
+"""Mutation-testing harness: run mutants against datasets, report kills."""
+
+from repro.testing.equivalence import classify_survivors, random_database
+from repro.testing.killcheck import KillReport, evaluate_suite, results_differ
+from repro.testing.minimize import MinimizationResult, minimize_suite
+from repro.testing.report import format_kill_report, format_suite
+from repro.testing.workload import WorkloadSuite, generate_workload
+
+__all__ = [
+    "evaluate_suite",
+    "results_differ",
+    "KillReport",
+    "random_database",
+    "classify_survivors",
+    "format_kill_report",
+    "format_suite",
+    "minimize_suite",
+    "MinimizationResult",
+    "generate_workload",
+    "WorkloadSuite",
+]

@@ -1,0 +1,99 @@
+"""Kill checking: differential execution of mutants over datasets.
+
+A mutant is *killed* by a dataset when the original query and the mutant
+produce different results on it (Section I).  Results are compared as
+bags of rows with columns aligned by name, so equivalent plans that emit
+columns in different orders (different join orders under ``SELECT *``)
+still compare equal.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.engine.database import Database
+from repro.engine.executor import execute_plan
+from repro.engine.plan import PlanNode, compile_query
+from repro.engine.relation import Relation
+from repro.mutation.space import Mutant, MutationSpace
+
+
+def result_signature(relation: Relation) -> tuple[tuple[str, ...], Counter]:
+    """(sorted column names, bag of name-aligned rows)."""
+    order = sorted(range(len(relation.columns)), key=lambda i: relation.columns[i])
+    names = tuple(relation.columns[i] for i in order)
+    bag = Counter(tuple(row[i] for i in order) for row in relation.rows)
+    return names, bag
+
+
+def results_differ(a: Relation, b: Relation) -> bool:
+    """True when two results differ as name-aligned bags."""
+    return result_signature(a) != result_signature(b)
+
+
+@dataclass
+class MutantOutcome:
+    """Per-mutant kill record."""
+
+    mutant: Mutant
+    killed_by: list[int] = field(default_factory=list)
+
+    @property
+    def killed(self) -> bool:
+        return bool(self.killed_by)
+
+
+@dataclass
+class KillReport:
+    """The kill matrix for one suite against one mutation space."""
+
+    outcomes: list[MutantOutcome]
+    dataset_count: int
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def killed(self) -> int:
+        return sum(1 for o in self.outcomes if o.killed)
+
+    @property
+    def survivors(self) -> list[Mutant]:
+        return [o.mutant for o in self.outcomes if not o.killed]
+
+    def kills_of_dataset(self, index: int) -> int:
+        return sum(1 for o in self.outcomes if index in o.killed_by)
+
+
+def evaluate_suite(
+    space: MutationSpace,
+    databases: list[Database],
+    original_plan: PlanNode | None = None,
+    stop_at_first_kill: bool = False,
+) -> KillReport:
+    """Run every mutant against every dataset; record which kills occur.
+
+    Args:
+        space: The mutation space (provides the analyzed query).
+        databases: The generated test datasets.
+        original_plan: Plan for the original query; defaults to compiling
+            the analyzed query.
+        stop_at_first_kill: Record only the first killing dataset per
+            mutant (faster for large spaces; the kill counts are equal).
+    """
+    plan = original_plan or compile_query(space.analyzed.query)
+    original_results = [execute_plan(plan, db) for db in databases]
+    original_signatures = [result_signature(r) for r in original_results]
+    outcomes: list[MutantOutcome] = []
+    for mutant in space.mutants:
+        outcome = MutantOutcome(mutant)
+        for index, db in enumerate(databases):
+            mutant_result = execute_plan(mutant.plan, db)
+            if result_signature(mutant_result) != original_signatures[index]:
+                outcome.killed_by.append(index)
+                if stop_at_first_kill:
+                    break
+        outcomes.append(outcome)
+    return KillReport(outcomes, len(databases))

@@ -1,0 +1,100 @@
+"""Test-suite minimization: prune datasets that add no killing power.
+
+The paper's conclusion lists "minimizing the number of datasets
+generated, by pruning redundant datasets" as ongoing work.  This module
+implements it as greedy weighted set cover over the kill matrix: keep
+the original-query dataset (the user always wants one non-empty result),
+then repeatedly keep the dataset that kills the most not-yet-covered
+mutants, until every mutant killed by the full suite is covered.
+
+Greedy set cover is a ln(n)-approximation of the optimal cover, which is
+NP-hard to compute exactly — acceptable here because suites are already
+linear in query size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.generator import GeneratedDataset, TestSuite
+from repro.mutation.space import MutationSpace
+from repro.testing.killcheck import KillReport, evaluate_suite
+
+
+@dataclass
+class MinimizationResult:
+    """Outcome of suite minimization.
+
+    Attributes:
+        kept: Datasets retained, in original suite order.
+        dropped: Redundant datasets, with the reason each was dropped.
+        report: The kill report of the *full* suite the cover was
+            computed from.
+    """
+
+    kept: list[GeneratedDataset]
+    dropped: list[tuple[GeneratedDataset, str]] = field(default_factory=list)
+    report: KillReport | None = None
+
+    @property
+    def kept_count(self) -> int:
+        return len(self.kept)
+
+
+def minimize_suite(
+    suite: TestSuite,
+    space: MutationSpace,
+    keep_original: bool = True,
+) -> MinimizationResult:
+    """Greedy set-cover pruning of ``suite`` against ``space``.
+
+    Args:
+        suite: The generated test suite.
+        space: The mutation space to preserve coverage over.
+        keep_original: Always retain the original-query dataset even if
+            it kills nothing (testers want one positive case).
+    """
+    datasets = suite.datasets
+    report = evaluate_suite(space, [d.db for d in datasets])
+    kills_of: list[set[int]] = [set() for _ in datasets]
+    for mutant_index, outcome in enumerate(report.outcomes):
+        for dataset_index in outcome.killed_by:
+            kills_of[dataset_index].add(mutant_index)
+
+    selected: set[int] = set()
+    covered: set[int] = set()
+    if keep_original:
+        for index, dataset in enumerate(datasets):
+            if dataset.group == "original":
+                selected.add(index)
+                covered |= kills_of[index]
+
+    total_killed = {
+        m for m, outcome in enumerate(report.outcomes) if outcome.killed
+    }
+    while covered != total_killed:
+        best_index = -1
+        best_gain = -1
+        for index in range(len(datasets)):
+            if index in selected:
+                continue
+            gain = len(kills_of[index] - covered)
+            if gain > best_gain:
+                best_gain = gain
+                best_index = index
+        if best_gain <= 0:
+            break
+        selected.add(best_index)
+        covered |= kills_of[best_index]
+
+    kept = [d for i, d in enumerate(datasets) if i in selected]
+    dropped = []
+    for index, dataset in enumerate(datasets):
+        if index in selected:
+            continue
+        if not kills_of[index]:
+            reason = "kills no mutants"
+        else:
+            reason = "kills only mutants covered by kept datasets"
+        dropped.append((dataset, reason))
+    return MinimizationResult(kept, dropped, report)

@@ -1,0 +1,43 @@
+"""Human-readable reports for kill matrices and suite summaries."""
+
+from __future__ import annotations
+
+from repro.core.generator import TestSuite
+from repro.testing.killcheck import KillReport
+
+
+def format_kill_report(report: KillReport, show_survivors: bool = True) -> str:
+    """Render a kill report as text."""
+    lines = [
+        f"mutants: {report.total}  killed: {report.killed}  "
+        f"survivors: {report.total - report.killed}  "
+        f"datasets: {report.dataset_count}"
+    ]
+    for index in range(report.dataset_count):
+        kills = report.kills_of_dataset(index)
+        if kills:
+            lines.append(f"  dataset {index}: kills {kills} mutants")
+    if show_survivors:
+        for mutant in report.survivors:
+            lines.append(f"  survivor: {mutant}")
+    return "\n".join(lines)
+
+
+def format_suite(suite: TestSuite) -> str:
+    """Render a test suite summary as text."""
+    lines = [
+        f"query: {suite.sql}",
+        f"datasets: {len(suite.datasets)} "
+        f"({suite.non_original_count()} targeted + original), "
+        f"skipped groups: {len(suite.skipped)}",
+        f"generation time: {suite.elapsed:.3f}s "
+        f"(solver: {suite.solve_time:.3f}s)",
+    ]
+    for dataset in suite.datasets:
+        rows = dataset.db.total_rows()
+        lines.append(f"  [{dataset.group}] {dataset.target} ({rows} rows)")
+    for skip in suite.skipped:
+        lines.append(f"  [skipped:{skip.reason}] {skip.target}")
+    for warning in suite.warnings:
+        lines.append(f"  warning {warning}")
+    return "\n".join(lines)

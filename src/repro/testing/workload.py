@@ -1,0 +1,146 @@
+"""Workload-level generation: one dataset collection for many queries.
+
+The paper's future-work list includes "data generation for an application
+with multiple queries".  This module generates a suite per query and then
+minimises *across* the workload: a dataset generated for one query often
+kills mutants of another (they share relations), so the combined
+fixture set is much smaller than the concatenation of per-query suites.
+
+The cover is greedy set cover over the union kill-matrix, with the
+guarantee that every mutant killed by its own query's full suite stays
+killed by the workload datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.generator import GenConfig, GeneratedDataset, TestSuite, XDataGenerator
+from repro.engine.database import Database
+from repro.engine.executor import execute_plan
+from repro.engine.plan import compile_query
+from repro.mutation.space import MutationSpace, enumerate_mutants
+from repro.schema.catalog import Schema
+from repro.testing.killcheck import result_signature
+
+
+@dataclass
+class WorkloadEntry:
+    """Per-query results inside a workload."""
+
+    name: str
+    sql: str
+    suite: TestSuite
+    space: MutationSpace
+    killed: int = 0
+    total: int = 0
+
+
+@dataclass
+class WorkloadSuite:
+    """The combined result of :func:`generate_workload`."""
+
+    entries: list[WorkloadEntry]
+    datasets: list[GeneratedDataset] = field(default_factory=list)
+    #: (entry index, dataset index within its suite) per combined dataset.
+    provenance: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def databases(self) -> list[Database]:
+        return [d.db for d in self.datasets]
+
+    def summary(self) -> str:
+        lines = [
+            f"workload: {len(self.entries)} queries, "
+            f"{len(self.datasets)} combined datasets "
+            f"(from {sum(len(e.suite.datasets) for e in self.entries)} generated)"
+        ]
+        for entry in self.entries:
+            lines.append(
+                f"  {entry.name}: kills {entry.killed}/{entry.total} mutants"
+            )
+        return "\n".join(lines)
+
+
+def generate_workload(
+    schema: Schema,
+    queries: dict[str, str],
+    config: GenConfig | None = None,
+    minimize: bool = True,
+) -> WorkloadSuite:
+    """Generate suites for every query and combine them.
+
+    Args:
+        schema: Shared schema.
+        queries: name -> SQL mapping.
+        config: Generator configuration (shared).
+        minimize: Greedily drop datasets that add no killing power across
+            the whole workload (each query's original-result dataset is
+            always kept).
+    """
+    generator = XDataGenerator(schema, config)
+    entries: list[WorkloadEntry] = []
+    for name, sql in queries.items():
+        suite = generator.generate(sql)
+        space = enumerate_mutants(suite.analyzed)
+        entries.append(WorkloadEntry(name, sql, suite, space))
+
+    all_datasets: list[tuple[int, int, GeneratedDataset]] = []
+    for entry_index, entry in enumerate(entries):
+        for dataset_index, dataset in enumerate(entry.suite.datasets):
+            all_datasets.append((entry_index, dataset_index, dataset))
+
+    # Union kill matrix: which combined dataset kills which (query, mutant).
+    kills: list[set[tuple[int, int]]] = [set() for _ in all_datasets]
+    killable: set[tuple[int, int]] = set()
+    for entry_index, entry in enumerate(entries):
+        plan = compile_query(entry.space.analyzed.query)
+        originals = [
+            result_signature(execute_plan(plan, dataset.db))
+            for _, _, dataset in all_datasets
+        ]
+        for mutant_index, mutant in enumerate(entry.space.mutants):
+            for dataset_pos, (_, _, dataset) in enumerate(all_datasets):
+                got = result_signature(execute_plan(mutant.plan, dataset.db))
+                if got != originals[dataset_pos]:
+                    kills[dataset_pos].add((entry_index, mutant_index))
+                    killable.add((entry_index, mutant_index))
+        entry.total = len(entry.space.mutants)
+
+    selected: set[int] = set()
+    if minimize:
+        covered: set[tuple[int, int]] = set()
+        for dataset_pos, (_, _, dataset) in enumerate(all_datasets):
+            if dataset.group == "original":
+                selected.add(dataset_pos)
+                covered |= kills[dataset_pos]
+        while covered != killable:
+            best, best_gain = -1, 0
+            for dataset_pos in range(len(all_datasets)):
+                if dataset_pos in selected:
+                    continue
+                gain = len(kills[dataset_pos] - covered)
+                if gain > best_gain:
+                    best, best_gain = dataset_pos, gain
+            if best < 0:
+                break
+            selected.add(best)
+            covered |= kills[best]
+    else:
+        selected = set(range(len(all_datasets)))
+
+    suite = WorkloadSuite(entries)
+    for dataset_pos in sorted(selected):
+        entry_index, dataset_index, dataset = all_datasets[dataset_pos]
+        suite.datasets.append(dataset)
+        suite.provenance.append((entry_index, dataset_index))
+    for entry_index, entry in enumerate(entries):
+        entry.killed = len(
+            {
+                (e, m)
+                for pos in selected
+                for (e, m) in kills[pos]
+                if e == entry_index
+            }
+        )
+    return suite

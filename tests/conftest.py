@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    schema_with_fks,
+    university_sample_database,
+    university_schema,
+)
+from repro.engine.database import Database
+from repro.schema.catalog import Column, ForeignKey, Schema, Table
+from repro.schema.types import SqlType
+
+
+@pytest.fixture
+def uni_schema():
+    """The full university schema (all foreign keys)."""
+    return university_schema()
+
+
+@pytest.fixture
+def uni_schema_nofk():
+    """The university schema with every foreign key stripped."""
+    return schema_with_fks([])
+
+
+@pytest.fixture
+def uni_db(uni_schema):
+    """The bundled sample database."""
+    return university_sample_database(uni_schema)
+
+
+@pytest.fixture
+def tiny_schema():
+    """Two tables, one FK: r(a PK, b) and s(a PK, r_a -> r.a)."""
+    return Schema(
+        [
+            Table(
+                "r",
+                [Column("a", SqlType.INT), Column("b", SqlType.INT)],
+                primary_key=("a",),
+            ),
+            Table(
+                "s",
+                [Column("a", SqlType.INT), Column("r_a", SqlType.INT)],
+                primary_key=("a",),
+                foreign_keys=[ForeignKey("s", ("r_a",), "r", ("a",))],
+            ),
+        ]
+    )
+
+
+@pytest.fixture
+def tiny_db(tiny_schema):
+    db = Database(tiny_schema)
+    db.insert_rows("r", [(1, 10), (2, 20), (3, 30)])
+    db.insert_rows("s", [(7, 1), (8, 1), (9, 3)])
+    db.validate()
+    return db
+
+
+def make_schema(*tables: Table) -> Schema:
+    return Schema(list(tables))

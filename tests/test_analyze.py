@@ -1,0 +1,237 @@
+"""Query analysis: occurrences, qualification, classification, eq classes."""
+
+import pytest
+
+from repro.core.analyze import analyze_query
+from repro.core.attrs import Attr
+from repro.errors import CatalogError, UnsupportedSqlError
+from repro.sql.parser import parse_query
+
+
+def analyze(sql, schema):
+    return analyze_query(parse_query(sql), schema)
+
+
+class TestOccurrences:
+    def test_bindings_in_from_order(self, uni_schema):
+        aq = analyze("SELECT * FROM instructor i, teaches t", uni_schema)
+        assert aq.bindings == ["i", "t"]
+        assert aq.table_of("i") == "instructor"
+
+    def test_unaliased_table_binds_by_name(self, uni_schema):
+        aq = analyze("SELECT * FROM instructor", uni_schema)
+        assert aq.bindings == ["instructor"]
+
+    def test_unknown_table_rejected(self, uni_schema):
+        with pytest.raises(CatalogError):
+            analyze("SELECT * FROM nonexistent", uni_schema)
+
+    def test_repeated_unaliased_occurrence_rejected(self, uni_schema):
+        with pytest.raises(CatalogError):
+            analyze("SELECT * FROM course, course", uni_schema)
+
+    def test_self_join_with_aliases(self, uni_schema):
+        aq = analyze(
+            "SELECT * FROM course c1, course c2 WHERE c1.course_id = c2.course_id",
+            uni_schema,
+        )
+        assert aq.bindings == ["c1", "c2"]
+        assert aq.table_of("c1") == aq.table_of("c2") == "course"
+
+
+class TestQualification:
+    def test_unqualified_column_resolved(self, uni_schema):
+        aq = analyze(
+            "SELECT name FROM instructor i, teaches t WHERE i.id = t.id",
+            uni_schema,
+        )
+        item = aq.query.select_items[0].expr
+        assert item.table == "i"
+
+    def test_ambiguous_column_rejected(self, uni_schema):
+        with pytest.raises(CatalogError):
+            analyze("SELECT id FROM instructor i, teaches t", uni_schema)
+
+    def test_unknown_column_rejected(self, uni_schema):
+        with pytest.raises(CatalogError):
+            analyze("SELECT qqq FROM instructor", uni_schema)
+
+    def test_wrong_qualifier_rejected(self, uni_schema):
+        with pytest.raises(CatalogError):
+            analyze("SELECT t.salary FROM instructor i, teaches t", uni_schema)
+
+
+class TestClassification:
+    def test_equijoin_becomes_equivalence_class(self, uni_schema):
+        aq = analyze(
+            "SELECT * FROM instructor i, teaches t WHERE i.id = t.id",
+            uni_schema,
+        )
+        assert aq.eq_classes == [(Attr("i", "id"), Attr("t", "id"))]
+        assert aq.selections == []
+        assert aq.other_joins == []
+
+    def test_transitive_classes_merged(self, uni_schema):
+        """Fig. 2: A.x = B.x AND B.x = C.x gives one 3-member class."""
+        aq = analyze(
+            "SELECT * FROM teaches t, course c, prereq p "
+            "WHERE t.course_id = c.course_id AND c.course_id = p.course_id",
+            uni_schema,
+        )
+        assert len(aq.eq_classes) == 1
+        assert len(aq.eq_classes[0]) == 3
+
+    def test_alternative_spelling_gives_same_class(self, uni_schema):
+        """Fig. 2's point: both spellings produce the same classes."""
+        first = analyze(
+            "SELECT * FROM teaches t, course c, prereq p "
+            "WHERE t.course_id = c.course_id AND c.course_id = p.course_id",
+            uni_schema,
+        )
+        second = analyze(
+            "SELECT * FROM teaches t, course c, prereq p "
+            "WHERE t.course_id = c.course_id AND t.course_id = p.course_id",
+            uni_schema,
+        )
+        assert first.eq_classes == second.eq_classes
+
+    def test_selection_classified(self, uni_schema):
+        aq = analyze(
+            "SELECT * FROM instructor i WHERE i.salary > 1000", uni_schema
+        )
+        assert len(aq.selections) == 1
+        assert aq.eq_classes == []
+
+    def test_single_relation_equality_is_selection(self, uni_schema):
+        aq = analyze(
+            "SELECT * FROM instructor i WHERE i.id = i.salary", uni_schema
+        )
+        assert len(aq.selections) == 1
+        assert aq.eq_classes == []
+
+    def test_non_equi_join_classified_as_other(self, uni_schema):
+        aq = analyze(
+            "SELECT * FROM instructor i, teaches t WHERE i.id < t.id",
+            uni_schema,
+        )
+        assert len(aq.other_joins) == 1
+        assert aq.eq_classes == []
+
+    def test_expression_join_classified_as_other(self, uni_schema):
+        aq = analyze(
+            "SELECT * FROM instructor i, teaches t WHERE i.id = t.id + 10",
+            uni_schema,
+        )
+        assert len(aq.other_joins) == 1
+
+    def test_on_clause_conditions_collected(self, uni_schema):
+        aq = analyze(
+            "SELECT * FROM instructor i JOIN teaches t ON i.id = t.id",
+            uni_schema,
+        )
+        assert len(aq.eq_classes) == 1
+
+    def test_outer_join_flag(self, uni_schema):
+        inner = analyze(
+            "SELECT * FROM instructor i JOIN teaches t ON i.id = t.id",
+            uni_schema,
+        )
+        outer = analyze(
+            "SELECT * FROM instructor i LEFT OUTER JOIN teaches t ON i.id = t.id",
+            uni_schema,
+        )
+        assert not inner.has_outer_joins
+        assert outer.has_outer_joins
+
+
+class TestNatural:
+    def test_natural_join_conditions_derived(self, uni_schema):
+        aq = analyze(
+            "SELECT t.course_id FROM teaches t NATURAL JOIN prereq p",
+            uni_schema,
+        )
+        # Common column: course_id.
+        assert len(aq.natural_conditions) == 1
+        assert len(aq.eq_classes) == 1
+
+    def test_natural_join_without_common_columns_rejected(self, uni_schema):
+        with pytest.raises(UnsupportedSqlError):
+            analyze(
+                "SELECT * FROM department d NATURAL JOIN prereq p", uni_schema
+            )
+
+
+class TestAggregates:
+    def test_aggregate_collected_with_attr(self, uni_schema):
+        aq = analyze(
+            "SELECT i.dept_name, SUM(i.salary) FROM instructor i "
+            "GROUP BY i.dept_name",
+            uni_schema,
+        )
+        assert len(aq.aggregates) == 1
+        assert aq.aggregates[0].attr == Attr("i", "salary")
+        assert aq.group_by == [Attr("i", "dept_name")]
+
+    def test_count_star_has_no_attr(self, uni_schema):
+        aq = analyze("SELECT COUNT(*) FROM instructor", uni_schema)
+        assert aq.aggregates[0].attr is None
+
+    def test_aggregate_over_expression_rejected(self, uni_schema):
+        with pytest.raises(UnsupportedSqlError):
+            analyze("SELECT SUM(i.salary + 1) FROM instructor i", uni_schema)
+
+
+class TestTypeChecking:
+    def test_string_vs_number_rejected(self, uni_schema):
+        with pytest.raises(UnsupportedSqlError):
+            analyze(
+                "SELECT * FROM instructor i WHERE i.name = 5", uni_schema
+            )
+
+    def test_order_comparison_on_strings_accepted(self, uni_schema):
+        """Rank-preserving interning makes string order comparable."""
+        aq = analyze(
+            "SELECT * FROM instructor i WHERE i.name > 'M'", uni_schema
+        )
+        assert len(aq.selections) == 1
+
+    def test_arithmetic_on_strings_rejected(self, uni_schema):
+        with pytest.raises(UnsupportedSqlError):
+            analyze(
+                "SELECT * FROM instructor i WHERE i.name + 1 = 2", uni_schema
+            )
+
+    def test_string_equality_allowed(self, uni_schema):
+        aq = analyze(
+            "SELECT * FROM instructor i WHERE i.dept_name = 'CS'", uni_schema
+        )
+        assert len(aq.selections) == 1
+
+
+class TestPools:
+    def test_fk_linked_columns_share_pool(self, uni_schema):
+        pools = analyze("SELECT * FROM instructor", uni_schema).pools
+        assert pools.pool_of("instructor", "dept_name") == pools.pool_of(
+            "department", "dept_name"
+        )
+
+    def test_query_comparison_links_pools(self, uni_schema_nofk):
+        aq = analyze(
+            "SELECT * FROM instructor i, student s "
+            "WHERE i.dept_name = s.dept_name",
+            uni_schema_nofk,
+        )
+        assert aq.pools.pool_of("instructor", "dept_name") == aq.pools.pool_of(
+            "student", "dept_name"
+        )
+
+    def test_unlinked_columns_have_own_pools(self, uni_schema_nofk):
+        aq = analyze("SELECT * FROM instructor", uni_schema_nofk)
+        assert aq.pools.pool_of("instructor", "name") != aq.pools.pool_of(
+            "instructor", "dept_name"
+        )
+
+    def test_preferred_values_from_domain(self, uni_schema):
+        aq = analyze("SELECT * FROM instructor", uni_schema)
+        values = aq.pools.preferred_values("instructor", "dept_name")
+        assert "CS" in values

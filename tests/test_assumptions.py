@@ -1,0 +1,85 @@
+"""A7/A8 assumption auditing."""
+
+import pytest
+
+from repro.core.analyze import analyze_query
+from repro.core.assumptions import check_assumptions
+from repro.datasets import university_schema
+from repro.sql.parser import parse_query
+
+
+def audit(sql, schema):
+    return check_assumptions(analyze_query(parse_query(sql), schema))
+
+
+def codes(warnings):
+    return [w.assumption for w in warnings]
+
+
+def test_clean_inner_join_query(uni_schema_nofk):
+    sql = "SELECT * FROM instructor i, teaches t WHERE i.id = t.id"
+    assert audit(sql, uni_schema_nofk) == []
+
+
+def test_a7_satisfied_with_both_sides_selected(uni_schema_nofk):
+    sql = (
+        "SELECT i.id, t.id FROM instructor i "
+        "FULL OUTER JOIN teaches t ON i.id = t.id"
+    )
+    assert audit(sql, uni_schema_nofk) == []
+
+
+def test_a7_violated_when_one_side_invisible(uni_schema_nofk):
+    sql = (
+        "SELECT i.id FROM instructor i "
+        "FULL OUTER JOIN teaches t ON i.id = t.id"
+    )
+    warnings = audit(sql, uni_schema_nofk)
+    assert codes(warnings) == ["A7"]
+    assert "right input" in warnings[0].message
+
+
+def test_a7_star_select_is_fine(uni_schema_nofk):
+    sql = "SELECT * FROM instructor i FULL OUTER JOIN teaches t ON i.id = t.id"
+    assert audit(sql, uni_schema_nofk) == []
+
+
+def test_left_outer_join_not_flagged(uni_schema_nofk):
+    """A7 concerns full outer joins only."""
+    sql = (
+        "SELECT i.id FROM instructor i "
+        "LEFT OUTER JOIN teaches t ON i.id = t.id"
+    )
+    assert audit(sql, uni_schema_nofk) == []
+
+
+def test_a8_natural_full_outer_needs_noncommon_attrs(uni_schema_nofk):
+    sql = (
+        "SELECT t.course_id, p.course_id FROM teaches t "
+        "NATURAL FULL OUTER JOIN prereq p"
+    )
+    warnings = audit(sql, uni_schema_nofk)
+    # course_id is the common attribute: both sides expose only it.
+    assert codes(warnings) == ["A8", "A8"]
+
+
+def test_a8_satisfied_with_noncommon_attrs(uni_schema_nofk):
+    sql = (
+        "SELECT t.id, p.prereq_id FROM teaches t "
+        "NATURAL FULL OUTER JOIN prereq p"
+    )
+    assert audit(sql, uni_schema_nofk) == []
+
+
+def test_a2_relaxation_reported():
+    schema = university_schema(allow_nullable_fks=True)
+    sql = "SELECT * FROM instructor i, teaches t WHERE i.id = t.id"
+    warnings = audit(sql, schema)
+    assert codes(warnings) == ["A2"]
+
+
+def test_warning_renders():
+    schema = university_schema(allow_nullable_fks=True)
+    sql = "SELECT * FROM instructor"
+    warnings = audit(sql, schema)
+    assert str(warnings[0]).startswith("[A2]")

@@ -1,0 +1,67 @@
+"""Baseline [14] generator tests."""
+
+import pytest
+
+from repro.baseline import ShortPaperGenerator
+from repro.core import XDataGenerator
+from repro.datasets import schema_with_fks, university_sample_database
+from repro.mutation import enumerate_mutants
+from repro.testing import evaluate_suite
+
+TWO = "SELECT * FROM instructor i, teaches t WHERE i.id = t.id"
+
+
+@pytest.fixture
+def nofk_setup():
+    schema = schema_with_fks([])
+    return schema, university_sample_database(schema)
+
+
+class TestBaselineDatasets:
+    def test_one_dataset_per_relation_plus_base(self, nofk_setup):
+        schema, sample = nofk_setup
+        suite = ShortPaperGenerator(schema, sample).generate(TWO)
+        assert len(suite.datasets) == 3  # base + 2 emptied
+
+    def test_emptied_relation_is_empty(self, nofk_setup):
+        schema, sample = nofk_setup
+        suite = ShortPaperGenerator(schema, sample).generate(TWO)
+        emptied = next(
+            d for d in suite.datasets if "emptying teaches" in d.purpose
+        )
+        assert len(emptied.db.relation("teaches")) == 0
+        assert len(emptied.db.relation("instructor")) > 0
+
+    def test_no_fk_all_datasets_legal(self, nofk_setup):
+        schema, sample = nofk_setup
+        suite = ShortPaperGenerator(schema, sample).generate(TWO)
+        assert suite.illegal_count == 0
+
+    def test_fk_makes_emptied_dataset_illegal(self):
+        """The documented [14] weakness: no foreign-key handling."""
+        schema = schema_with_fks(["teaches.id"])
+        sample = university_sample_database(schema)
+        suite = ShortPaperGenerator(schema, sample).generate(TWO)
+        assert suite.illegal_count >= 1
+
+    def test_kills_join_mutants_without_fks(self, nofk_setup):
+        schema, sample = nofk_setup
+        suite = ShortPaperGenerator(schema, sample).generate(TWO)
+        space = enumerate_mutants(TWO, schema)
+        report = evaluate_suite(space, suite.databases)
+        assert report.killed == report.total == 2
+
+    def test_misses_comparison_mutants(self, nofk_setup):
+        """No synthetic data: boundary datasets cannot be produced."""
+        schema, sample = nofk_setup
+        sql = "SELECT * FROM instructor i WHERE i.salary > 71000"
+        baseline = ShortPaperGenerator(schema, sample).generate(sql)
+        space = enumerate_mutants(sql, schema, include_join=False)
+        baseline_report = evaluate_suite(space, baseline.databases)
+        xdata = XDataGenerator(schema).generate(sql)
+        xdata_report = evaluate_suite(space, xdata.databases)
+        # 71000 is not a salary in the sample database, so the baseline has
+        # no row at the comparison boundary and cannot separate > from >=;
+        # XData synthesises the boundary tuple (Section V-E).
+        assert xdata_report.killed == xdata_report.total
+        assert baseline_report.killed < xdata_report.killed

@@ -1,0 +1,67 @@
+"""CVC3-style constraint rendering."""
+
+from repro.core import GenConfig, XDataGenerator
+from repro.datasets import schema_with_fks
+from repro.solver import builders as b
+from repro.solver.cvcformat import assertions, formula_to_cvc, positional_layout
+
+
+def test_atom_rendering():
+    atom = b.eq(b.var("b[0].x"), b.var("c[1].x") + b.const(10))
+    assert formula_to_cvc(atom) == "(b[0].x = c[1].x + 10)"
+
+
+def test_diamond_becomes_slash_eq():
+    atom = b.ne(b.var("r[0].a"), b.const(5))
+    assert "/=" in formula_to_cvc(atom)
+
+
+def test_order_atoms():
+    assert formula_to_cvc(b.lt(b.var("x"), b.const(3))) == "(x < 3)"
+    assert formula_to_cvc(b.ge(b.var("x"), b.const(3))) == "(3 <= x)"
+
+
+def test_not_exists_rendering():
+    formula = b.not_exists(
+        [b.eq(b.var("b[0].x"), b.var("c[0].x") + b.const(10))],
+        "i : B_INT",
+    )
+    text = formula_to_cvc(formula)
+    assert text.startswith("(FORALL (i : B_INT)")
+    assert "/=" in text
+
+
+def test_positional_notation():
+    """Section V-A: CVC3 uses positions, not attribute names."""
+    schema = schema_with_fks([])
+    layout = positional_layout(schema)
+    atom = b.eq(b.var("instructor[0].id"), b.var("teaches[0].id"))
+    text = formula_to_cvc(atom, layout)
+    assert text == "(instructor[0].0 = teaches[0].0)"
+
+
+def test_assert_lines():
+    text = assertions([b.eq(b.var("x"), b.const(1)), b.ne(b.var("y"), b.const(2))])
+    lines = text.splitlines()
+    assert len(lines) == 2
+    assert all(line.startswith("ASSERT ") and line.endswith(";") for line in lines)
+
+
+def test_generator_trace_attaches_constraints():
+    schema = schema_with_fks([])
+    config = GenConfig(trace_constraints=True)
+    suite = XDataGenerator(schema, config).generate(
+        "SELECT * FROM instructor i, teaches t WHERE i.id = t.id"
+    )
+    nullify = next(d for d in suite.datasets if d.group == "eqclass")
+    assert nullify.constraints_cvc
+    assert "ASSERT" in nullify.constraints_cvc
+    assert "FORALL" in nullify.constraints_cvc  # the NOT EXISTS nullification
+
+
+def test_trace_off_by_default():
+    schema = schema_with_fks([])
+    suite = XDataGenerator(schema).generate(
+        "SELECT * FROM instructor i, teaches t WHERE i.id = t.id"
+    )
+    assert all(d.constraints_cvc is None for d in suite.datasets)

@@ -1,0 +1,157 @@
+"""Subquery decorrelation (Section V-H) tests."""
+
+import pytest
+
+from repro.core import XDataGenerator, analyze_query
+from repro.core.decorrelate import decorrelate
+from repro.datasets import schema_with_fks, university_sample_database
+from repro.engine.executor import execute_query
+from repro.errors import UnsupportedSqlError
+from repro.mutation import enumerate_mutants
+from repro.sql.ast import Exists, InSubquery
+from repro.sql.parser import parse_query
+from repro.sql.printer import to_sql
+from repro.testing import classify_survivors, evaluate_suite
+from repro.testing.killcheck import result_signature
+
+IN_QUERY = (
+    "SELECT i.name FROM instructor i "
+    "WHERE i.id IN (SELECT t.id FROM teaches t WHERE t.course_id = 101)"
+)
+EXISTS_QUERY = (
+    "SELECT s.name FROM student s "
+    "WHERE EXISTS (SELECT * FROM advisor a WHERE a.s_id = s.id)"
+)
+
+
+class TestParsing:
+    def test_in_subquery_parses(self):
+        query = parse_query(IN_QUERY)
+        assert query.has_subquery_predicates
+        assert isinstance(query.where[0], InSubquery)
+
+    def test_exists_parses(self):
+        query = parse_query(EXISTS_QUERY)
+        assert isinstance(query.where[0], Exists)
+
+    def test_in_value_list_still_rejected(self):
+        with pytest.raises(UnsupportedSqlError):
+            parse_query("SELECT * FROM t WHERE a IN (1, 2, 3)")
+
+    def test_printer_renders_subqueries(self):
+        text = to_sql(parse_query(IN_QUERY))
+        assert "IN (SELECT" in text
+
+    def test_analyze_requires_decorrelation(self, uni_schema_nofk):
+        with pytest.raises(UnsupportedSqlError):
+            analyze_query(parse_query(IN_QUERY), uni_schema_nofk)
+
+
+class TestRewrite:
+    def test_in_becomes_join(self, uni_schema_nofk):
+        query = decorrelate(parse_query(IN_QUERY), uni_schema_nofk)
+        assert not query.has_subquery_predicates
+        assert len(query.from_items) == 2
+        rendered = to_sql(query)
+        assert "teaches" in rendered
+        assert "i.id = t.id" in rendered or "t.id" in rendered
+
+    def test_exists_becomes_join(self, uni_schema_nofk):
+        query = decorrelate(parse_query(EXISTS_QUERY), uni_schema_nofk)
+        assert not query.has_subquery_predicates
+        assert len(query.from_items) == 2
+
+    def test_no_subqueries_is_identity(self, uni_schema_nofk):
+        query = parse_query("SELECT * FROM instructor i WHERE i.salary > 1")
+        assert decorrelate(query, uni_schema_nofk) is query
+
+    def test_alias_collision_gets_fresh_binding(self, uni_schema_nofk):
+        sql = (
+            "SELECT t.id FROM teaches t WHERE t.id IN "
+            "(SELECT t.id FROM instructor t WHERE t.salary > 0)"
+        )
+        query = decorrelate(parse_query(sql), uni_schema_nofk)
+        bindings = [ref.binding for ref in query.from_items]
+        assert len(set(bindings)) == 2
+
+    def test_semantics_preserved_on_sample_data(self, uni_schema_nofk):
+        db = university_sample_database(uni_schema_nofk)
+        rewritten = decorrelate(parse_query(IN_QUERY), uni_schema_nofk)
+        result = execute_query(rewritten, db)
+        # Instructors teaching course 101 in the sample data: Srinivasan.
+        assert ("Srinivasan",) in result.rows
+        assert len(result) == 1
+
+    def test_exists_semantics_on_sample_data(self, uni_schema_nofk):
+        db = university_sample_database(uni_schema_nofk)
+        rewritten = decorrelate(parse_query(EXISTS_QUERY), uni_schema_nofk)
+        result = execute_query(rewritten, db)
+        advised = {row[0] for row in result.rows}
+        assert advised == {"Zhang", "Shankar", "Sanchez", "Levy"}
+
+
+class TestMultiplicityGuard:
+    def test_non_key_match_rejected(self, uni_schema_nofk):
+        """teaches.id is not a key of teaches: an instructor teaching two
+        courses would be duplicated by the join; refuse."""
+        sql = (
+            "SELECT i.name FROM instructor i "
+            "WHERE i.id IN (SELECT t.id FROM teaches t)"
+        )
+        with pytest.raises(UnsupportedSqlError):
+            decorrelate(parse_query(sql), uni_schema_nofk)
+
+    def test_distinct_outer_allows_non_key_match(self, uni_schema_nofk):
+        sql = (
+            "SELECT DISTINCT i.name FROM instructor i "
+            "WHERE i.id IN (SELECT t.id FROM teaches t)"
+        )
+        query = decorrelate(parse_query(sql), uni_schema_nofk)
+        db = university_sample_database(uni_schema_nofk)
+        result = execute_query(query, db)
+        assert sorted(r[0] for r in result.rows) == sorted(
+            {"Srinivasan", "Katz", "Crick", "Wu"}
+        )
+
+    def test_key_coverage_via_extra_equalities(self, uni_schema_nofk):
+        """Pinning the remaining key column restores safety."""
+        sql = (
+            "SELECT i.name FROM instructor i "
+            "WHERE i.id IN (SELECT t.id FROM teaches t "
+            "WHERE t.course_id = 101)"
+        )
+        decorrelate(parse_query(sql), uni_schema_nofk)  # no raise
+
+    def test_multi_table_subquery_rejected(self, uni_schema_nofk):
+        sql = (
+            "SELECT i.name FROM instructor i WHERE EXISTS "
+            "(SELECT * FROM teaches t, course c "
+            "WHERE t.id = i.id AND t.course_id = c.course_id)"
+        )
+        with pytest.raises(UnsupportedSqlError):
+            decorrelate(parse_query(sql), uni_schema_nofk)
+
+    def test_aggregating_subquery_rejected(self, uni_schema_nofk):
+        sql = (
+            "SELECT i.name FROM instructor i WHERE i.salary IN "
+            "(SELECT MAX(t.year) FROM teaches t)"
+        )
+        with pytest.raises(UnsupportedSqlError):
+            decorrelate(parse_query(sql), uni_schema_nofk)
+
+
+class TestEndToEnd:
+    def test_generator_decorrelates_automatically(self):
+        schema = schema_with_fks(["advisor.s_id"])
+        suite = XDataGenerator(schema).generate(EXISTS_QUERY)
+        assert suite.datasets
+        assert not suite.analyzed.query.has_subquery_predicates
+
+    def test_suite_kills_mutants_of_decorrelated_query(self):
+        schema = schema_with_fks([])
+        suite = XDataGenerator(schema).generate(EXISTS_QUERY)
+        space = enumerate_mutants(suite.analyzed)
+        report = evaluate_suite(space, suite.databases)
+        classification = classify_survivors(space, report.survivors)
+        assert report.killed >= 1
+        assert classification.missed == []

@@ -1,0 +1,228 @@
+"""Executor tests: joins, outer joins, NULL semantics, aggregation."""
+
+from collections import Counter
+from fractions import Fraction
+
+import pytest
+
+from repro.engine import Database, execute_query
+from repro.engine.executor import execute_plan
+from repro.engine.plan import compile_query
+from repro.errors import ExecutionError
+from repro.schema.catalog import Column, Schema, Table
+from repro.schema.types import SqlType
+from repro.sql.parser import parse_query
+
+
+@pytest.fixture
+def db():
+    schema = Schema(
+        [
+            Table("r", [Column("a", SqlType.INT), Column("b", SqlType.INT)]),
+            Table("s", [Column("a", SqlType.INT), Column("c", SqlType.INT)]),
+            Table(
+                "g",
+                [
+                    Column("k", SqlType.VARCHAR),
+                    Column("v", SqlType.INT),
+                ],
+            ),
+        ]
+    )
+    db = Database(schema)
+    db.insert_rows("r", [(1, 10), (2, 20), (3, 30)])
+    db.insert_rows("s", [(1, 100), (1, 101), (4, 400)])
+    db.insert_rows("g", [("x", 5), ("x", 5), ("x", 7), ("y", 0)])
+    return db
+
+
+def run(db, sql):
+    return execute_query(parse_query(sql), db)
+
+
+def bag(relation):
+    return Counter(relation.rows)
+
+
+class TestScanProject:
+    def test_select_star(self, db):
+        result = run(db, "SELECT * FROM r")
+        assert len(result) == 3
+        assert result.columns == ["r.a", "r.b"]
+
+    def test_projection_order(self, db):
+        result = run(db, "SELECT b, a FROM r")
+        assert result.rows[0] == (10, 1)
+
+    def test_expression_projection(self, db):
+        result = run(db, "SELECT a + 1 FROM r")
+        assert [row[0] for row in result.rows] == [2, 3, 4]
+
+    def test_duplicates_preserved_bag_semantics(self, db):
+        result = run(db, "SELECT k FROM g")
+        assert bag(result)[("x",)] == 3
+
+    def test_select_distinct(self, db):
+        result = run(db, "SELECT DISTINCT k FROM g")
+        assert sorted(result.rows) == [("x",), ("y",)]
+
+    def test_qualified_star(self, db):
+        result = run(db, "SELECT r.* FROM r, s")
+        assert result.columns == ["r.a", "r.b"]
+        assert len(result) == 9  # cross product
+
+
+class TestWhere:
+    def test_filter(self, db):
+        assert len(run(db, "SELECT * FROM r WHERE a > 1")) == 2
+
+    def test_conjunction(self, db):
+        assert len(run(db, "SELECT * FROM r WHERE a > 1 AND b < 30")) == 1
+
+    def test_string_filter(self, db):
+        assert len(run(db, "SELECT * FROM g WHERE k = 'y'")) == 1
+
+    def test_arithmetic_predicate(self, db):
+        result = run(db, "SELECT * FROM r, s WHERE r.a = s.a + 1")
+        # s.a values: 1,1,4 -> r.a = 2,2,5 -> matches (2,*) twice
+        assert len(result) == 2
+
+
+class TestJoins:
+    def test_inner_join(self, db):
+        result = run(db, "SELECT * FROM r JOIN s ON r.a = s.a")
+        assert len(result) == 2  # r.1 matches s.1 twice
+
+    def test_comma_join_equals_explicit(self, db):
+        implicit = run(db, "SELECT * FROM r, s WHERE r.a = s.a")
+        explicit = run(db, "SELECT * FROM r JOIN s ON r.a = s.a")
+        assert bag(implicit) == bag(explicit)
+
+    def test_left_outer_join(self, db):
+        result = run(db, "SELECT * FROM r LEFT OUTER JOIN s ON r.a = s.a")
+        assert len(result) == 4  # 2 matches + r.2, r.3 padded
+        padded = [row for row in result.rows if row[2] is None]
+        assert len(padded) == 2
+
+    def test_right_outer_join(self, db):
+        result = run(db, "SELECT * FROM r RIGHT OUTER JOIN s ON r.a = s.a")
+        assert len(result) == 3  # 2 matches + s.4 padded
+        padded = [row for row in result.rows if row[0] is None]
+        assert len(padded) == 1
+
+    def test_full_outer_join(self, db):
+        result = run(db, "SELECT * FROM r FULL OUTER JOIN s ON r.a = s.a")
+        assert len(result) == 5
+
+    def test_left_right_mirror(self, db):
+        left = run(db, "SELECT r.a, s.a FROM r LEFT OUTER JOIN s ON r.a = s.a")
+        right = run(db, "SELECT r.a, s.a FROM s RIGHT OUTER JOIN r ON r.a = s.a")
+        assert bag(left) == bag(right)
+
+    def test_cross_join(self, db):
+        assert len(run(db, "SELECT * FROM r CROSS JOIN s")) == 9
+
+    def test_padded_rows_filtered_by_where(self, db):
+        """NULL-rejecting WHERE turns an outer join back into inner."""
+        outer = run(
+            db,
+            "SELECT * FROM r LEFT OUTER JOIN s ON r.a = s.a WHERE s.c > 0",
+        )
+        inner = run(db, "SELECT * FROM r JOIN s ON r.a = s.a WHERE s.c > 0")
+        assert bag(outer) == bag(inner)
+
+    def test_join_on_multiple_conditions(self, db):
+        result = run(db, "SELECT * FROM r JOIN s ON r.a = s.a AND s.c > 100")
+        assert len(result) == 1
+
+
+class TestNaturalJoins:
+    def test_natural_join_common_column_coalesced(self, db):
+        result = run(db, "SELECT * FROM r NATURAL JOIN s")
+        assert result.columns == ["a", "r.b", "s.c"]
+        assert len(result) == 2
+
+    def test_natural_full_outer_join_coalesce_values(self, db):
+        result = run(db, "SELECT * FROM r NATURAL FULL OUTER JOIN s")
+        a_values = sorted(row[0] for row in result.rows)
+        # Both r-only (2, 3) and s-only (4) keys appear in the merged column.
+        assert a_values == [1, 1, 2, 3, 4]
+
+    def test_natural_join_qualified_reference_still_resolves(self, db):
+        result = run(db, "SELECT r.a FROM r NATURAL JOIN s")
+        assert len(result) == 2
+
+
+class TestAggregates:
+    def test_global_count_star(self, db):
+        assert run(db, "SELECT COUNT(*) FROM g").rows == [(4,)]
+
+    def test_global_aggregates(self, db):
+        result = run(db, "SELECT MIN(v), MAX(v), SUM(v) FROM g")
+        assert result.rows == [(0, 7, 17)]
+
+    def test_avg_exact(self, db):
+        result = run(db, "SELECT AVG(v) FROM g")
+        assert result.rows == [(Fraction(17, 4),)]
+
+    def test_group_by(self, db):
+        result = run(db, "SELECT k, COUNT(v) FROM g GROUP BY k")
+        assert sorted(result.rows) == [("x", 3), ("y", 1)]
+
+    def test_distinct_aggregates(self, db):
+        result = run(
+            db,
+            "SELECT COUNT(DISTINCT v), SUM(DISTINCT v) FROM g WHERE k = 'x'",
+        )
+        assert result.rows == [(2, 12)]
+
+    def test_empty_input_global_aggregate(self, db):
+        result = run(db, "SELECT COUNT(v), SUM(v), MIN(v) FROM g WHERE v > 99")
+        assert result.rows == [(0, None, None)]
+
+    def test_empty_input_grouped_aggregate_has_no_rows(self, db):
+        result = run(db, "SELECT k, COUNT(v) FROM g WHERE v > 99 GROUP BY k")
+        assert result.rows == []
+
+    def test_aggregate_ignores_nulls(self):
+        schema = Schema([Table("t", [Column("v", SqlType.INT)])])
+        db = Database(schema)
+        db.insert_rows("t", [(1,), (None,), (3,)])
+        result = run(db, "SELECT COUNT(v), SUM(v), AVG(v) FROM t")
+        assert result.rows == [(2, 4, 2)]
+
+    def test_count_star_counts_null_rows(self):
+        schema = Schema([Table("t", [Column("v", SqlType.INT)])])
+        db = Database(schema)
+        db.insert_rows("t", [(None,), (None,)])
+        assert run(db, "SELECT COUNT(*) FROM t").rows == [(2,)]
+
+    def test_aggregate_arithmetic(self, db):
+        result = run(db, "SELECT SUM(v) + COUNT(v) FROM g")
+        assert result.rows == [(21,)]
+
+    def test_group_by_with_aggregate_over_join(self, db):
+        result = run(
+            db,
+            "SELECT r.a, COUNT(s.c) FROM r LEFT OUTER JOIN s ON r.a = s.a "
+            "GROUP BY r.a",
+        )
+        assert sorted(result.rows) == [(1, 2), (2, 0), (3, 0)]
+
+
+class TestErrors:
+    def test_unknown_column_raises(self, db):
+        with pytest.raises(ExecutionError):
+            run(db, "SELECT zz FROM r")
+
+    def test_ambiguous_column_raises(self, db):
+        with pytest.raises(ExecutionError):
+            run(db, "SELECT a FROM r, s")
+
+    def test_star_with_group_by_raises(self, db):
+        with pytest.raises(ExecutionError):
+            run(db, "SELECT * FROM g GROUP BY k")
+
+    def test_duplicate_output_names_deduplicated(self, db):
+        result = run(db, "SELECT a, a FROM r")
+        assert result.columns == ["a", "a#2"]

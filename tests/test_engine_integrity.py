@@ -1,0 +1,114 @@
+"""Integrity checking: PK, FK, NOT NULL."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.integrity import check_integrity, find_violations
+from repro.errors import IntegrityError
+
+
+def test_valid_instance_passes(tiny_db):
+    check_integrity(tiny_db)  # no raise
+
+
+def test_pk_duplicate_detected(tiny_schema):
+    db = Database(tiny_schema)
+    db.insert_rows("r", [(1, 10), (1, 99)])
+    violations = find_violations(db)
+    assert any("primary key" in v for v in violations)
+
+
+def test_pk_null_detected(tiny_schema):
+    db = Database(tiny_schema)
+    db.insert("r", (None, 10))
+    assert any("primary key" in v for v in find_violations(db))
+
+
+def test_fk_dangling_detected(tiny_schema):
+    db = Database(tiny_schema)
+    db.insert("r", (1, 10))
+    db.insert("s", (7, 99))  # r_a = 99 has no r
+    violations = find_violations(db)
+    assert any("foreign key" in v for v in violations)
+
+
+def test_not_null_on_fk_column(tiny_schema):
+    # Assumption A2 made s.r_a NOT NULL at schema build time.
+    db = Database(tiny_schema)
+    db.insert("r", (1, 10))
+    db.insert("s", (7, None))
+    assert any("NOT NULL" in v for v in find_violations(db))
+
+
+def test_check_integrity_raises_with_all_violations(tiny_schema):
+    db = Database(tiny_schema)
+    db.insert_rows("r", [(1, 10), (1, 11)])
+    db.insert("s", (7, 99))
+    with pytest.raises(IntegrityError) as excinfo:
+        check_integrity(db)
+    assert len(excinfo.value.violations) == 2
+
+
+def test_empty_database_is_legal(tiny_schema):
+    check_integrity(Database(tiny_schema))
+
+
+def test_nullable_fk_null_is_legal():
+    """Section V-H: a NULL FK value satisfies the constraint."""
+    from repro.schema.catalog import Column, ForeignKey, Schema, Table
+    from repro.schema.types import SqlType
+
+    schema = Schema(
+        [
+            Table("r", [Column("a", SqlType.INT)], primary_key=("a",)),
+            Table(
+                "s",
+                [Column("r_a", SqlType.INT)],
+                foreign_keys=[ForeignKey("s", ("r_a",), "r", ("a",))],
+            ),
+        ],
+        allow_nullable_fks=True,
+    )
+    db = Database(schema)
+    db.insert("s", (None,))
+    check_integrity(db)  # no raise
+
+
+def test_multi_column_fk_checked_as_unit():
+    from repro.schema.catalog import Column, ForeignKey, Schema, Table
+    from repro.schema.types import SqlType
+
+    schema = Schema(
+        [
+            Table(
+                "r",
+                [Column("x", SqlType.INT), Column("y", SqlType.INT)],
+                primary_key=("x", "y"),
+            ),
+            Table(
+                "s",
+                [Column("p", SqlType.INT), Column("q", SqlType.INT)],
+                foreign_keys=[ForeignKey("s", ("p", "q"), "r", ("x", "y"))],
+            ),
+        ]
+    )
+    db = Database(schema)
+    db.insert("r", (1, 2))
+    db.insert("s", (1, 2))
+    check_integrity(db)
+    db.insert("s", (1, 3))  # components exist separately but not as a pair
+    assert find_violations(db)
+
+
+def test_database_copy_is_independent(tiny_db):
+    clone = tiny_db.copy()
+    clone.insert("r", (99, 0))
+    assert len(tiny_db.relation("r")) == 3
+    assert len(clone.relation("r")) == 4
+
+
+def test_total_rows_and_pretty(tiny_db):
+    assert tiny_db.total_rows() == 6
+    rendered = tiny_db.pretty()
+    assert "r(a, b)" in rendered
+    assert "(1, 10)" in rendered

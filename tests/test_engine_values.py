@@ -1,0 +1,130 @@
+"""Three-valued logic and NULL-aware value operations."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.engine.values import (
+    normalize_value,
+    sql_and,
+    sql_arith,
+    sql_compare,
+    sql_not,
+    sql_or,
+)
+from repro.errors import ExecutionError
+
+
+class TestTruthTables:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            (True, True, True), (True, False, False), (False, False, False),
+            (True, None, None), (None, True, None),
+            (False, None, False), (None, False, False),
+            (None, None, None),
+        ],
+    )
+    def test_and(self, a, b, expected):
+        assert sql_and(a, b) is expected
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            (True, True, True), (True, False, True), (False, False, False),
+            (True, None, True), (None, True, True),
+            (False, None, None), (None, False, None),
+            (None, None, None),
+        ],
+    )
+    def test_or(self, a, b, expected):
+        assert sql_or(a, b) is expected
+
+    def test_not(self):
+        assert sql_not(True) is False
+        assert sql_not(False) is True
+        assert sql_not(None) is None
+
+
+class TestCompare:
+    def test_null_operand_is_unknown(self):
+        assert sql_compare("=", None, 1) is None
+        assert sql_compare("<>", 1, None) is None
+        assert sql_compare("<", None, None) is None
+
+    @pytest.mark.parametrize(
+        "op,l,r,expected",
+        [
+            ("=", 3, 3, True), ("=", 3, 4, False),
+            ("<>", 3, 4, True), ("<>", 3, 3, False),
+            ("<", 3, 4, True), ("<", 4, 3, False),
+            (">", 4, 3, True), ("<=", 3, 3, True), (">=", 2, 3, False),
+        ],
+    )
+    def test_int_comparisons(self, op, l, r, expected):
+        assert sql_compare(op, l, r) is expected
+
+    def test_string_equality(self):
+        assert sql_compare("=", "CS", "CS") is True
+        assert sql_compare("<>", "CS", "Biology") is True
+
+    def test_string_ordering(self):
+        assert sql_compare("<", "Apple", "Banana") is True
+
+    def test_mixed_numeric_types_compare(self):
+        assert sql_compare("=", 4, Fraction(4, 1)) is True
+        assert sql_compare("=", 4, 4.0) is True
+
+    def test_string_vs_number_raises(self):
+        with pytest.raises(ExecutionError):
+            sql_compare("=", "x", 1)
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(ExecutionError):
+            sql_compare("~~", 1, 1)
+
+
+class TestArith:
+    def test_null_propagates(self):
+        assert sql_arith("+", None, 1) is None
+        assert sql_arith("*", 1, None) is None
+
+    def test_basic_ops(self):
+        assert sql_arith("+", 2, 3) == 5
+        assert sql_arith("-", 2, 3) == -1
+        assert sql_arith("*", 2, 3) == 6
+
+    def test_division_is_exact(self):
+        assert sql_arith("/", 1, 3) == Fraction(1, 3)
+        assert sql_arith("/", 6, 3) == 2
+        assert isinstance(sql_arith("/", 6, 3), int)
+
+    def test_division_by_zero_is_null(self):
+        assert sql_arith("/", 1, 0) is None
+
+    def test_string_arithmetic_raises(self):
+        with pytest.raises(ExecutionError):
+            sql_arith("+", "a", 1)
+
+
+class TestNormalize:
+    def test_integral_fraction_becomes_int(self):
+        assert normalize_value(Fraction(8, 2)) == 4
+        assert isinstance(normalize_value(Fraction(8, 2)), int)
+
+    def test_non_integral_fraction_kept(self):
+        assert normalize_value(Fraction(1, 3)) == Fraction(1, 3)
+
+    def test_integral_float_becomes_int(self):
+        assert normalize_value(4.0) == 4
+        assert isinstance(normalize_value(4.0), int)
+
+    def test_none_passes_through(self):
+        assert normalize_value(None) is None
+
+    def test_string_passes_through(self):
+        assert normalize_value("CS") == "CS"
+
+    def test_bool_rejected(self):
+        with pytest.raises(ExecutionError):
+            normalize_value(True)

@@ -1,0 +1,75 @@
+"""Frame header resolution (the engine's column-scoping rules)."""
+
+import pytest
+
+from repro.engine.frame import Frame, FrameCol
+from repro.errors import ExecutionError
+
+
+def make_frame():
+    return Frame(
+        [
+            FrameCol("r", "a", (("r", "a"),)),
+            FrameCol("r", "b", (("r", "b"),)),
+            FrameCol("s", "a", (("s", "a"),)),
+        ]
+    )
+
+
+class TestResolve:
+    def test_qualified(self):
+        frame = make_frame()
+        assert frame.resolve("r", "a") == 0
+        assert frame.resolve("s", "a") == 2
+
+    def test_case_insensitive(self):
+        frame = make_frame()
+        assert frame.resolve("R", "A") == 0
+
+    def test_unqualified_unique(self):
+        assert make_frame().resolve(None, "b") == 1
+
+    def test_unqualified_ambiguous(self):
+        with pytest.raises(ExecutionError):
+            make_frame().resolve(None, "a")
+
+    def test_missing_column(self):
+        with pytest.raises(ExecutionError):
+            make_frame().resolve("r", "zz")
+        with pytest.raises(ExecutionError):
+            make_frame().resolve(None, "zz")
+
+
+class TestCoalesced:
+    def coalesced_frame(self):
+        return Frame(
+            [
+                FrameCol(None, "a", (("r", "a"), ("s", "a"))),
+                FrameCol("r", "b", (("r", "b"),)),
+            ]
+        )
+
+    def test_qualified_resolves_through_sources(self):
+        frame = self.coalesced_frame()
+        assert frame.resolve("r", "a") == 0
+        assert frame.resolve("s", "a") == 0
+
+    def test_unqualified_prefers_coalesced(self):
+        frame = self.coalesced_frame()
+        assert frame.resolve(None, "a") == 0
+
+    def test_bindings_include_sources(self):
+        assert self.coalesced_frame().bindings() == {"r", "s"}
+
+    def test_columns_of_binding_includes_coalesced(self):
+        frame = self.coalesced_frame()
+        assert frame.columns_of_binding("s") == [0]
+        assert frame.columns_of_binding("r") == [0, 1]
+
+
+def test_answers_helper():
+    col = FrameCol("r", "a", (("r", "a"),))
+    assert col.answers("r", "a")
+    assert not col.answers("s", "a")
+    merged = FrameCol(None, "a", (("r", "a"), ("s", "a")))
+    assert merged.answers("r", "a") and merged.answers("s", "a")

@@ -1,0 +1,181 @@
+"""Constrained aggregation (HAVING) — the paper's named future work."""
+
+import pytest
+
+from repro.core import XDataGenerator, analyze_query
+from repro.datasets import schema_with_fks
+from repro.engine.executor import execute_query
+from repro.errors import UnsupportedSqlError
+from repro.mutation import enumerate_mutants
+from repro.sql.parser import parse_query
+from repro.testing import classify_survivors, evaluate_suite
+
+SUM_SQL = (
+    "SELECT i.dept_name, SUM(i.salary) FROM instructor i "
+    "GROUP BY i.dept_name HAVING SUM(i.salary) > 50"
+)
+COUNT_SQL = (
+    "SELECT i.dept_name, COUNT(i.id) FROM instructor i "
+    "GROUP BY i.dept_name HAVING COUNT(i.id) >= 2"
+)
+
+
+def analyze(sql, schema):
+    return analyze_query(parse_query(sql), schema)
+
+
+class TestParsingAndEngine:
+    def test_having_parses_and_prints(self):
+        from repro.sql.printer import to_sql
+
+        query = parse_query(SUM_SQL)
+        assert len(query.having) == 1
+        assert parse_query(to_sql(query)) == query
+
+    def test_engine_filters_groups(self, uni_db):
+        result = execute_query(parse_query(
+            "SELECT i.dept_name, COUNT(i.id) FROM instructor i "
+            "GROUP BY i.dept_name HAVING COUNT(i.id) >= 2"
+        ), uni_db)
+        assert sorted(result.rows) == [("CS", 2)]
+
+    def test_engine_having_without_group_by(self, uni_db):
+        result = execute_query(parse_query(
+            "SELECT COUNT(i.id) FROM instructor i HAVING COUNT(i.id) > 100"
+        ), uni_db)
+        assert result.rows == []
+
+    def test_having_with_aggregate_on_left_or_right(self, uni_db):
+        left = execute_query(parse_query(
+            "SELECT i.dept_name FROM instructor i GROUP BY i.dept_name "
+            "HAVING COUNT(i.id) >= 2"
+        ), uni_db)
+        right = execute_query(parse_query(
+            "SELECT i.dept_name FROM instructor i GROUP BY i.dept_name "
+            "HAVING 2 <= COUNT(i.id)"
+        ), uni_db)
+        assert sorted(left.rows) == sorted(right.rows)
+
+
+class TestAnalysis:
+    def test_having_info_normalised(self, uni_schema_nofk):
+        aq = analyze(
+            "SELECT i.dept_name FROM instructor i GROUP BY i.dept_name "
+            "HAVING 2 <= COUNT(i.id)",
+            uni_schema_nofk,
+        )
+        info = aq.having[0]
+        assert info.agg.func == "COUNT"
+        assert info.op == ">="
+        assert info.constant == 2
+
+    def test_non_constant_having_rejected(self, uni_schema_nofk):
+        with pytest.raises(UnsupportedSqlError):
+            analyze(
+                "SELECT i.dept_name FROM instructor i GROUP BY i.dept_name "
+                "HAVING SUM(i.salary) > AVG(i.salary)",
+                uni_schema_nofk,
+            )
+
+    def test_string_aggregate_in_having_rejected(self, uni_schema_nofk):
+        with pytest.raises(UnsupportedSqlError):
+            analyze(
+                "SELECT i.dept_name FROM instructor i GROUP BY i.dept_name "
+                "HAVING MIN(i.name) = 3",
+                uni_schema_nofk,
+            )
+
+
+class TestGeneration:
+    def test_three_datasets_per_conjunct(self, uni_schema_nofk):
+        suite = XDataGenerator(uni_schema_nofk).generate(SUM_SQL)
+        having = [d for d in suite.datasets if d.group == "having"]
+        assert len(having) == 3
+
+    def test_original_dataset_passes_having(self, uni_schema_nofk):
+        suite = XDataGenerator(uni_schema_nofk).generate(SUM_SQL)
+        original = suite.datasets[0]
+        result = execute_query(parse_query(SUM_SQL), original.db)
+        assert len(result) >= 1
+
+    def test_count_having_grows_tuple_sets(self, uni_schema_nofk):
+        suite = XDataGenerator(uni_schema_nofk).generate(COUNT_SQL)
+        original = suite.datasets[0]
+        result = execute_query(parse_query(COUNT_SQL), original.db)
+        assert len(result) >= 1
+        assert len(original.db.relation("instructor")) >= 2
+
+    def test_forced_cases_have_expected_sums(self, uni_schema_nofk):
+        suite = XDataGenerator(uni_schema_nofk).generate(SUM_SQL)
+        for dataset in suite.datasets:
+            if dataset.group != "having":
+                continue
+            total = sum(
+                row[3] for row in dataset.db.relation("instructor").rows
+            )
+            if "force =" in dataset.target:
+                assert total == 50
+            elif "force <" in dataset.target:
+                assert total < 50
+            else:
+                assert total > 50
+
+    def test_infeasible_count_case_skipped(self, uni_schema_nofk):
+        """COUNT(...) < 1 can never hold with a visible group."""
+        sql = (
+            "SELECT i.dept_name, COUNT(i.id) FROM instructor i "
+            "GROUP BY i.dept_name HAVING COUNT(i.id) = 1"
+        )
+        suite = XDataGenerator(uni_schema_nofk).generate(sql)
+        skipped = [s for s in suite.skipped if s.group == "having"]
+        assert any("force <" in s.target for s in skipped)
+
+
+class TestKilling:
+    @pytest.mark.parametrize("sql", [SUM_SQL, COUNT_SQL])
+    def test_no_missed_mutants(self, sql, uni_schema_nofk):
+        suite = XDataGenerator(uni_schema_nofk).generate(sql)
+        space = enumerate_mutants(suite.analyzed)
+        report = evaluate_suite(space, suite.databases)
+        classification = classify_survivors(space, report.survivors, trials=12)
+        assert classification.missed == [], [
+            str(c.mutant) for c in classification.missed
+        ]
+
+    def test_having_comparison_mutants_killed(self, uni_schema_nofk):
+        suite = XDataGenerator(uni_schema_nofk).generate(SUM_SQL)
+        space = enumerate_mutants(suite.analyzed)
+        report = evaluate_suite(space, suite.databases)
+        having_outcomes = [
+            o for o in report.outcomes if "having[" in o.mutant.description
+        ]
+        assert having_outcomes
+        assert all(o.killed for o in having_outcomes)
+
+    def test_having_aggregate_mutants_mostly_killed(self, uni_schema_nofk):
+        suite = XDataGenerator(uni_schema_nofk).generate(SUM_SQL)
+        space = enumerate_mutants(suite.analyzed)
+        having_aggs = [
+            m for m in space.mutants if "having:" in m.description
+        ]
+        assert len(having_aggs) == 7
+        report = evaluate_suite(space, suite.databases)
+        killed = [
+            o for o in report.outcomes
+            if o.mutant in having_aggs and o.killed
+        ]
+        assert len(killed) >= 5  # the rest must be verified equivalent
+
+    def test_join_query_with_having(self):
+        schema = schema_with_fks(["teaches.id"])
+        sql = (
+            "SELECT i.dept_name, SUM(i.salary) FROM instructor i, teaches t "
+            "WHERE i.id = t.id GROUP BY i.dept_name "
+            "HAVING SUM(i.salary) > 50"
+        )
+        suite = XDataGenerator(schema).generate(sql)
+        space = enumerate_mutants(suite.analyzed)
+        report = evaluate_suite(space, suite.databases)
+        classification = classify_survivors(space, report.survivors, trials=12)
+        assert classification.missed == []
+        assert report.killed >= report.total * 2 // 3

@@ -1,0 +1,100 @@
+"""Join-condition mutant extension: wrong attribute, missing conjunct."""
+
+import pytest
+
+from repro.core import GenConfig, XDataGenerator, analyze_query
+from repro.datasets import schema_with_fks
+from repro.mutation import enumerate_mutants
+from repro.mutation.joincond import (
+    missing_conjunct_mutants,
+    wrong_attribute_mutants,
+)
+from repro.sql.parser import parse_query
+from repro.testing import classify_survivors, evaluate_suite
+
+CHAIN3 = (
+    "SELECT i.name, c.title FROM instructor i, teaches t, course c "
+    "WHERE i.id = t.id AND t.course_id = c.course_id"
+)
+
+
+def analyze(sql, schema):
+    return analyze_query(parse_query(sql), schema)
+
+
+class TestSpace:
+    def test_wrong_attribute_mutants_enumerated(self, uni_schema_nofk):
+        aq = analyze(CHAIN3, uni_schema_nofk)
+        mutants = wrong_attribute_mutants(aq)
+        descriptions = {m.description for m in mutants}
+        assert any("t.sec_id = c.course_id" in d for d in descriptions)
+        # Only type-compatible siblings: no name/dept columns for id joins.
+        assert not any("i.name = t.id" in d for d in descriptions)
+
+    def test_missing_conjunct_mutants_enumerated(self, uni_schema_nofk):
+        aq = analyze(CHAIN3, uni_schema_nofk)
+        mutants = missing_conjunct_mutants(aq)
+        assert len(mutants) == 2
+
+    def test_selection_conjuncts_not_dropped(self, uni_schema_nofk):
+        sql = "SELECT * FROM instructor i, teaches t WHERE i.id = t.id AND i.salary > 0"
+        aq = analyze(sql, uni_schema_nofk)
+        assert len(missing_conjunct_mutants(aq)) == 1
+
+    def test_space_flag_off_by_default(self, uni_schema_nofk):
+        space = enumerate_mutants(CHAIN3, uni_schema_nofk)
+        assert not space.by_kind("joincond-wrong")
+        space = enumerate_mutants(
+            CHAIN3, uni_schema_nofk, include_join_conditions=True
+        )
+        assert space.by_kind("joincond-wrong")
+        assert space.by_kind("joincond-missing")
+
+
+class TestKilling:
+    def test_missing_conjunct_killed_by_staple_suite(self, uni_schema_nofk):
+        """Nullification datasets cover forgotten-join errors for free."""
+        suite = XDataGenerator(uni_schema_nofk).generate(CHAIN3)
+        space = enumerate_mutants(
+            suite.analyzed,
+            include_join=False,
+            include_comparison=False,
+            include_join_conditions=True,
+        )
+        report = evaluate_suite(space, suite.databases)
+        missing = [
+            o for o in report.outcomes if o.mutant.kind == "joincond-missing"
+        ]
+        assert missing and all(o.killed for o in missing)
+
+    def test_anti_coincidence_datasets_generated(self, uni_schema_nofk):
+        config = GenConfig(include_join_condition_datasets=True)
+        suite = XDataGenerator(uni_schema_nofk, config).generate(CHAIN3)
+        joincond = [d for d in suite.datasets if d.group == "joincond"]
+        assert len(joincond) == 2  # one per equi-join conjunct
+
+    def test_wrong_attribute_mutants_all_killed_with_extension(
+        self, uni_schema_nofk
+    ):
+        config = GenConfig(include_join_condition_datasets=True)
+        suite = XDataGenerator(uni_schema_nofk, config).generate(CHAIN3)
+        space = enumerate_mutants(
+            suite.analyzed,
+            include_join=False,
+            include_comparison=False,
+            include_join_conditions=True,
+        )
+        report = evaluate_suite(space, suite.databases)
+        survivors = [
+            m for m in report.survivors if m.kind == "joincond-wrong"
+        ]
+        classification = classify_survivors(space, survivors, trials=15)
+        assert classification.missed == [], [
+            str(c.mutant) for c in classification.missed
+        ]
+
+    def test_default_counts_unchanged(self, uni_schema_nofk):
+        """The extension is off by default: Table I counts stay intact."""
+        suite = XDataGenerator(uni_schema_nofk).generate(CHAIN3)
+        assert suite.count("joincond") == 0
+        assert suite.non_original_count() == 4

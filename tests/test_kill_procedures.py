@@ -1,0 +1,256 @@
+"""Unit tests for the individual kill-* procedures (Algorithms 2-4)."""
+
+import pytest
+
+from repro.core import XDataGenerator, analyze_query
+from repro.core.attrs import Attr
+from repro.core.kill_eqclass import nullification_sets
+from repro.core import kill_aggregates, kill_comparison, kill_eqclass
+from repro.datasets import schema_with_fks
+from repro.engine.executor import execute_query
+from repro.sql.parser import parse_query
+
+
+def analyze(sql, schema):
+    return analyze_query(parse_query(sql), schema)
+
+
+class TestNullificationSets:
+    """Algorithm 2 lines 5-7: the S/P split."""
+
+    def test_no_fk_s_is_singleton(self, uni_schema_nofk):
+        aq = analyze(
+            "SELECT * FROM instructor i, teaches t WHERE i.id = t.id",
+            uni_schema_nofk,
+        )
+        ec = aq.eq_classes[0]
+        s_set, p_set = nullification_sets(aq, ec, Attr("i", "id"))
+        assert s_set == [Attr("i", "id")]
+        assert p_set == [Attr("t", "id")]
+
+    def test_fk_pulls_referencing_attr_into_s(self):
+        schema = schema_with_fks(["teaches.id"])
+        aq = analyze(
+            "SELECT * FROM instructor i, teaches t WHERE i.id = t.id", schema
+        )
+        ec = aq.eq_classes[0]
+        s_set, p_set = nullification_sets(aq, ec, Attr("i", "id"))
+        assert set(s_set) == {Attr("i", "id"), Attr("t", "id")}
+        assert p_set == []
+
+    def test_transitive_references_in_s(self):
+        """a.x -> b.x -> c.x: nullifying c.x pulls both referers."""
+        from repro.schema.catalog import Column, ForeignKey, Schema, Table
+        from repro.schema.types import SqlType
+
+        schema = Schema(
+            [
+                Table("c", [Column("x", SqlType.INT)], primary_key=("x",)),
+                Table(
+                    "b",
+                    [Column("x", SqlType.INT)],
+                    primary_key=("x",),
+                    foreign_keys=[ForeignKey("b", ("x",), "c", ("x",))],
+                ),
+                Table(
+                    "a",
+                    [Column("x", SqlType.INT)],
+                    foreign_keys=[ForeignKey("a", ("x",), "b", ("x",))],
+                ),
+                Table("d", [Column("x", SqlType.INT)]),
+            ]
+        )
+        aq = analyze(
+            "SELECT * FROM a, b, c, d "
+            "WHERE a.x = b.x AND b.x = c.x AND c.x = d.x",
+            schema,
+        )
+        ec = aq.eq_classes[0]
+        s_set, p_set = nullification_sets(aq, ec, Attr("c", "x"))
+        assert set(s_set) == {Attr("a", "x"), Attr("b", "x"), Attr("c", "x")}
+        assert p_set == [Attr("d", "x")]
+
+    def test_same_table_occurrences_nullified_together(self, uni_schema_nofk):
+        aq = analyze(
+            "SELECT * FROM course c1, course c2 "
+            "WHERE c1.course_id = c2.course_id",
+            uni_schema_nofk,
+        )
+        ec = aq.eq_classes[0]
+        s_set, p_set = nullification_sets(aq, ec, Attr("c1", "course_id"))
+        assert p_set == []
+
+
+class TestEqClassDatasets:
+    def test_dataset_exhibits_dangling_tuple(self, uni_schema_nofk):
+        sql = "SELECT * FROM instructor i, teaches t WHERE i.id = t.id"
+        suite = XDataGenerator(uni_schema_nofk).generate(sql)
+        nullify_i = next(
+            d for d in suite.datasets if "nullify i.id" in d.target
+        )
+        teaches_ids = {
+            row[0] for row in nullify_i.db.relation("teaches").rows
+        }
+        instructor_ids = {
+            row[0] for row in nullify_i.db.relation("instructor").rows
+        }
+        # The teaches tuple has no matching instructor.
+        assert teaches_ids
+        assert not (teaches_ids & instructor_ids)
+
+    def test_fk_support_tuple_added(self):
+        """Nullifying a referencing FK column needs a second referenced row."""
+        schema = schema_with_fks(["teaches.id"])
+        sql = "SELECT * FROM instructor i, teaches t WHERE i.id = t.id"
+        suite = XDataGenerator(schema).generate(sql)
+        nullify_t = next(
+            d for d in suite.datasets if "nullify t.id" in d.target
+        )
+        # instructor must hold both the dangling value and the FK target.
+        assert len(nullify_t.db.relation("instructor")) == 2
+
+    def test_other_conditions_satisfied(self, uni_schema_nofk):
+        """The difference must propagate: other joins stay satisfied."""
+        sql = (
+            "SELECT * FROM instructor i, teaches t, course c "
+            "WHERE i.id = t.id AND t.course_id = c.course_id"
+        )
+        suite = XDataGenerator(uni_schema_nofk).generate(sql)
+        nullify_i = next(
+            d for d in suite.datasets if "nullify i.id" in d.target
+        )
+        # teaches joins course even though instructor doesn't match.
+        t_row = nullify_i.db.relation("teaches").rows[0]
+        c_ids = {row[0] for row in nullify_i.db.relation("course").rows}
+        assert t_row[1] in c_ids
+
+
+class TestComparisonDatasets:
+    def test_three_numeric_cases(self, uni_schema_nofk):
+        sql = "SELECT * FROM instructor i WHERE i.salary > 500"
+        suite = XDataGenerator(uni_schema_nofk).generate(sql)
+        targets = {d.target for d in suite.datasets if d.group == "comparison"}
+        assert targets == {
+            "cmp:i.salary > 500 force =",
+            "cmp:i.salary > 500 force <",
+            "cmp:i.salary > 500 force >",
+        }
+
+    def test_forced_relation_holds(self, uni_schema_nofk):
+        sql = "SELECT * FROM instructor i WHERE i.salary > 500"
+        suite = XDataGenerator(uni_schema_nofk).generate(sql)
+        for dataset in suite.datasets:
+            if dataset.group != "comparison":
+                continue
+            salary = dataset.db.relation("instructor").rows[0][3]
+            if "force =" in dataset.target:
+                assert salary == 500
+            elif "force <" in dataset.target:
+                assert salary < 500
+            else:
+                assert salary > 500
+
+    def test_string_conjunct_gets_three_cases(self, uni_schema_nofk):
+        """Strings get the full =/</> treatment (ordered interning)."""
+        sql = "SELECT * FROM instructor i WHERE i.dept_name = 'CS'"
+        suite = XDataGenerator(uni_schema_nofk).generate(sql)
+        cmp_sets = [d for d in suite.datasets if d.group == "comparison"]
+        assert len(cmp_sets) == 3
+        for dataset in cmp_sets:
+            dept = dataset.db.relation("instructor").rows[0][2]
+            if "force =" in dataset.target:
+                assert dept == "CS"
+            elif "force <" in dataset.target:
+                assert dept < "CS"
+            else:
+                assert dept > "CS"
+
+
+class TestAggregateDatasets:
+    def test_three_tuples_one_group(self, uni_schema_nofk):
+        sql = (
+            "SELECT i.dept_name, SUM(i.salary) FROM instructor i "
+            "GROUP BY i.dept_name"
+        )
+        suite = XDataGenerator(uni_schema_nofk).generate(sql)
+        agg = next(d for d in suite.datasets if d.group == "aggregate")
+        rows = agg.db.relation("instructor").rows
+        assert len(rows) == 3
+        depts = {row[2] for row in rows}
+        assert len(depts) == 1  # same group (S0)
+        salaries = [row[3] for row in rows]
+        # S1: a duplicated non-zero value; S2: a distinct third value.
+        assert len(set(salaries)) == 2
+        assert all(s != 0 for s in salaries)
+
+    def test_all_aggregate_mutants_disagree(self, uni_schema_nofk):
+        """The aggregate dataset distinguishes every operator pair."""
+        sql = (
+            "SELECT i.dept_name, SUM(i.salary) FROM instructor i "
+            "GROUP BY i.dept_name"
+        )
+        suite = XDataGenerator(uni_schema_nofk).generate(sql)
+        agg = next(d for d in suite.datasets if d.group == "aggregate")
+        results = {}
+        for func, distinct in [
+            ("SUM", False), ("SUM", True), ("AVG", False), ("AVG", True),
+            ("COUNT", False), ("COUNT", True), ("MIN", False), ("MAX", False),
+        ]:
+            inner = f"DISTINCT i.salary" if distinct else "i.salary"
+            q = parse_query(
+                f"SELECT i.dept_name, {func}({inner}) FROM instructor i "
+                f"GROUP BY i.dept_name"
+            )
+            value = execute_query(q, agg.db).rows[0][1]
+            results[(func, distinct)] = value
+        values = list(results.values())
+        assert len(set(values)) == len(values), results
+
+    def test_pk_on_aggregated_attr_relaxes_s1(self):
+        """When (G, A) is unique, S1 is dropped (Algorithm 4 lines 11-13)."""
+        from repro.schema.catalog import Column, Schema, Table
+        from repro.schema.types import SqlType
+
+        schema = Schema(
+            [
+                Table(
+                    "t",
+                    [Column("g", SqlType.INT), Column("a", SqlType.INT)],
+                    primary_key=("g", "a"),
+                )
+            ]
+        )
+        sql = "SELECT t.g, SUM(t.a) FROM t GROUP BY t.g"
+        suite = XDataGenerator(schema).generate(sql)
+        agg = next(d for d in suite.datasets if d.group == "aggregate")
+        assert agg.relaxation is not None
+
+    def test_group_by_is_whole_pk_relaxes_s2_too(self):
+        """Groups are single tuples: S1 and S2 both dropped."""
+        from repro.schema.catalog import Column, Schema, Table
+        from repro.schema.types import SqlType
+
+        schema = Schema(
+            [
+                Table(
+                    "t",
+                    [Column("g", SqlType.INT), Column("a", SqlType.INT)],
+                    primary_key=("g",),
+                )
+            ]
+        )
+        sql = "SELECT t.g, SUM(t.a) FROM t GROUP BY t.g"
+        suite = XDataGenerator(schema).generate(sql)
+        agg = next(d for d in suite.datasets if d.group == "aggregate")
+        assert "S1" in (agg.relaxation or "")
+
+    def test_aggregate_over_join(self, uni_schema_nofk):
+        sql = (
+            "SELECT i.dept_name, COUNT(t.course_id) "
+            "FROM instructor i, teaches t WHERE i.id = t.id "
+            "GROUP BY i.dept_name"
+        )
+        suite = XDataGenerator(uni_schema_nofk).generate(sql)
+        agg = next(d for d in suite.datasets if d.group == "aggregate")
+        # Three joined tuple sets.
+        assert len(agg.db.relation("teaches")) == 3

@@ -1,0 +1,125 @@
+"""Kill-check and survivor-classification tests."""
+
+import random
+
+import pytest
+
+from repro.core import XDataGenerator, analyze_query
+from repro.engine.relation import Relation
+from repro.mutation import enumerate_mutants
+from repro.sql.parser import parse_query
+from repro.testing import (
+    classify_survivors,
+    evaluate_suite,
+    format_kill_report,
+    random_database,
+    results_differ,
+)
+from repro.testing.killcheck import result_signature
+
+
+class TestResultComparison:
+    def test_equal_bags_compare_equal(self):
+        a = Relation(["x", "y"], [(1, 2), (1, 2), (3, 4)])
+        b = Relation(["x", "y"], [(3, 4), (1, 2), (1, 2)])
+        assert not results_differ(a, b)
+
+    def test_multiplicity_matters(self):
+        a = Relation(["x"], [(1,), (1,)])
+        b = Relation(["x"], [(1,)])
+        assert results_differ(a, b)
+
+    def test_column_order_ignored(self):
+        a = Relation(["x", "y"], [(1, 2)])
+        b = Relation(["y", "x"], [(2, 1)])
+        assert not results_differ(a, b)
+
+    def test_column_names_matter(self):
+        a = Relation(["x"], [(1,)])
+        b = Relation(["z"], [(1,)])
+        assert results_differ(a, b)
+
+    def test_null_values_compare(self):
+        a = Relation(["x"], [(None,)])
+        b = Relation(["x"], [(None,)])
+        assert not results_differ(a, b)
+        assert results_differ(a, Relation(["x"], [(0,)]))
+
+
+class TestEvaluateSuite:
+    def test_kill_report_structure(self, uni_schema_nofk):
+        sql = "SELECT * FROM instructor i, teaches t WHERE i.id = t.id"
+        suite = XDataGenerator(uni_schema_nofk).generate(sql)
+        space = enumerate_mutants(suite.analyzed)
+        report = evaluate_suite(space, suite.databases)
+        assert report.total == 2
+        assert report.killed == 2
+        assert report.survivors == []
+        assert report.dataset_count == len(suite.databases)
+
+    def test_stop_at_first_kill_same_counts(self, uni_schema_nofk):
+        sql = (
+            "SELECT * FROM instructor i, teaches t, course c "
+            "WHERE i.id = t.id AND t.course_id = c.course_id"
+        )
+        suite = XDataGenerator(uni_schema_nofk).generate(sql)
+        space = enumerate_mutants(suite.analyzed)
+        full = evaluate_suite(space, suite.databases)
+        fast = evaluate_suite(space, suite.databases, stop_at_first_kill=True)
+        assert full.killed == fast.killed
+
+    def test_report_formatting(self, uni_schema_nofk):
+        sql = "SELECT * FROM instructor i, teaches t WHERE i.id = t.id"
+        suite = XDataGenerator(uni_schema_nofk).generate(sql)
+        space = enumerate_mutants(suite.analyzed)
+        report = evaluate_suite(space, suite.databases)
+        text = format_kill_report(report)
+        assert "mutants: 2" in text
+
+
+class TestRandomDatabase:
+    def test_random_instances_are_legal(self, uni_schema):
+        rng = random.Random(7)
+        for _ in range(5):
+            db = random_database(uni_schema, rng)
+            db.validate()  # no raise
+
+    def test_respects_fk_topology(self, tiny_schema):
+        rng = random.Random(1)
+        db = random_database(tiny_schema, rng, rows_per_table=5)
+        r_keys = {row[0] for row in db.relation("r").rows}
+        for row in db.relation("s").rows:
+            assert row[1] in r_keys
+
+    def test_deterministic_given_seed(self, tiny_schema):
+        db1 = random_database(tiny_schema, random.Random(3))
+        db2 = random_database(tiny_schema, random.Random(3))
+        assert db1.relation("r").rows == db2.relation("r").rows
+
+
+class TestClassification:
+    def test_equivalent_survivor_classified(self, uni_db):
+        """With an FK, join -> right-outer at the FK side is equivalent."""
+        from repro.datasets import schema_with_fks
+
+        schema = schema_with_fks(["teaches.id"])
+        sql = "SELECT * FROM instructor i, teaches t WHERE i.id = t.id"
+        suite = XDataGenerator(schema).generate(sql)
+        space = enumerate_mutants(suite.analyzed)
+        report = evaluate_suite(space, suite.databases)
+        assert len(report.survivors) == 1
+        classification = classify_survivors(space, report.survivors)
+        assert len(classification.likely_equivalent) == 1
+        assert classification.missed == []
+
+    def test_non_equivalent_survivor_detected(self, uni_schema_nofk):
+        """Feed an empty suite: every mutant survives; the classifier must
+        expose the non-equivalent ones with a witness instance."""
+        sql = "SELECT * FROM instructor i, teaches t WHERE i.id = t.id"
+        aq = analyze_query(parse_query(sql), uni_schema_nofk)
+        space = enumerate_mutants(aq)
+        report = evaluate_suite(space, [])
+        assert len(report.survivors) == 2
+        classification = classify_survivors(space, report.survivors)
+        assert len(classification.missed) == 2
+        assert all(c.witness is not None for c in classification.missed)

@@ -1,0 +1,139 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.sql.lexer import Token, TokenKind, tokenize
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)[:-1]]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_whitespace_only(self):
+        assert tokenize("   \n\t  ")[-1].kind is TokenKind.EOF
+        assert len(tokenize("   \n\t  ")) == 1
+
+    def test_keyword_recognised_case_insensitively(self):
+        for text in ("select", "SELECT", "Select", "sElEcT"):
+            token = tokenize(text)[0]
+            assert token.kind is TokenKind.KEYWORD
+            assert token.value == "SELECT"
+
+    def test_identifier_preserves_spelling(self):
+        token = tokenize("MyTable")[0]
+        assert token.kind is TokenKind.IDENT
+        assert token.value == "MyTable"
+
+    def test_identifier_with_underscore_and_digits(self):
+        token = tokenize("dept_name2")[0]
+        assert token.kind is TokenKind.IDENT
+        assert token.value == "dept_name2"
+
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.kind is TokenKind.NUMBER
+        assert token.value == "42"
+
+    def test_decimal_literal(self):
+        token = tokenize("3.25")[0]
+        assert token.value == "3.25"
+
+    def test_qualified_name_is_three_tokens(self):
+        assert values("t.id") == ["t", ".", "id"]
+
+    def test_number_then_dot_then_ident(self):
+        # "1.e" must not eat the dot as a decimal point.
+        assert values("t1.x") == ["t1", ".", "x"]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        token = tokenize("'CS'")[0]
+        assert token.kind is TokenKind.STRING
+        assert token.value == "CS"
+
+    def test_string_with_spaces(self):
+        assert tokenize("'hello world'")[0].value == "hello world"
+
+    def test_escaped_quote(self):
+        assert tokenize("'O''Brien'")[0].value == "O'Brien"
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].value == ""
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_unterminated_after_escape_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'oops''")
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["=", "<", ">", "+", "-", "*", "/", "(", ")", ",", ".", ";"])
+    def test_single_char_ops(self, op):
+        token = tokenize(op)[0]
+        assert token.kind is TokenKind.OP
+        assert token.value == op
+
+    @pytest.mark.parametrize("op", ["<=", ">=", "<>"])
+    def test_multi_char_ops(self, op):
+        assert tokenize(op)[0].value == op
+
+    def test_bang_equals_normalised(self):
+        assert tokenize("!=")[0].value == "<>"
+
+    def test_le_not_split(self):
+        assert values("a<=b") == ["a", "<=", "b"]
+
+    def test_unknown_character_raises_with_position(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("a @ b")
+        assert excinfo.value.position == 2
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert values("a -- comment\n b") == ["a", "b"]
+
+    def test_comment_at_end_of_input(self):
+        assert values("a -- trailing") == ["a"]
+
+
+class TestPositions:
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT x")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+    def test_token_matches_helper(self):
+        token = Token(TokenKind.KEYWORD, "FROM", 0)
+        assert token.matches(TokenKind.KEYWORD)
+        assert token.matches(TokenKind.KEYWORD, "FROM")
+        assert not token.matches(TokenKind.KEYWORD, "WHERE")
+        assert not token.matches(TokenKind.IDENT)
+
+
+class TestFullStatements:
+    def test_simple_query_token_stream(self):
+        sql = "SELECT a FROM t WHERE a >= 10"
+        assert values(sql) == ["SELECT", "a", "FROM", "t", "WHERE", "a", ">=", "10"]
+
+    def test_aggregate_tokens(self):
+        assert values("COUNT(DISTINCT x)") == ["COUNT", "(", "DISTINCT", "x", ")"]
+
+    def test_join_keywords(self):
+        sql = "a NATURAL LEFT OUTER JOIN b"
+        assert values(sql) == ["a", "NATURAL", "LEFT", "OUTER", "JOIN", "b"]

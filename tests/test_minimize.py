@@ -1,0 +1,70 @@
+"""Suite minimization (greedy set cover over the kill matrix)."""
+
+import pytest
+
+from repro.core import XDataGenerator
+from repro.datasets import schema_with_fks
+from repro.mutation import enumerate_mutants
+from repro.testing import evaluate_suite, minimize_suite
+
+CHAIN3 = (
+    "SELECT * FROM instructor i, teaches t, course c "
+    "WHERE i.id = t.id AND t.course_id = c.course_id"
+)
+
+
+@pytest.fixture
+def suite_and_space():
+    schema = schema_with_fks([])
+    suite = XDataGenerator(schema).generate(CHAIN3)
+    space = enumerate_mutants(suite.analyzed)
+    return suite, space
+
+
+def test_minimized_suite_preserves_kill_count(suite_and_space):
+    suite, space = suite_and_space
+    full = evaluate_suite(space, suite.databases)
+    result = minimize_suite(suite, space)
+    minimized = evaluate_suite(space, [d.db for d in result.kept])
+    assert minimized.killed == full.killed
+
+
+def test_minimization_never_grows(suite_and_space):
+    suite, space = suite_and_space
+    result = minimize_suite(suite, space)
+    assert result.kept_count <= len(suite.datasets)
+
+
+def test_original_dataset_kept_by_default(suite_and_space):
+    suite, space = suite_and_space
+    result = minimize_suite(suite, space)
+    assert any(d.group == "original" for d in result.kept)
+
+
+def test_original_can_be_dropped_when_requested(suite_and_space):
+    suite, space = suite_and_space
+    result = minimize_suite(suite, space, keep_original=False)
+    # The original dataset kills nothing on this query; without the
+    # keep_original guarantee it is pruned.
+    assert not any(d.group == "original" for d in result.kept)
+
+
+def test_dropped_have_reasons(suite_and_space):
+    suite, space = suite_and_space
+    result = minimize_suite(suite, space, keep_original=False)
+    for dataset, reason in result.dropped:
+        assert reason
+
+
+def test_duplicate_datasets_pruned():
+    """Two symmetric nullification datasets may have identical kill sets;
+    minimization keeps only one of each redundant pair."""
+    schema = schema_with_fks([])
+    sql = "SELECT * FROM instructor i, teaches t WHERE i.id = t.id"
+    suite = XDataGenerator(schema).generate(sql)
+    space = enumerate_mutants(suite.analyzed)
+    result = minimize_suite(suite, space, keep_original=False)
+    full = evaluate_suite(space, suite.databases)
+    minimized = evaluate_suite(space, [d.db for d in result.kept])
+    assert minimized.killed == full.killed
+    assert result.kept_count <= suite.non_original_count()

@@ -1,0 +1,144 @@
+"""Coverage for supporting modules: errors, symbols, reports, input-db."""
+
+import pytest
+
+from repro import errors
+from repro.core import GenConfig, XDataGenerator
+from repro.core.analyze import analyze_query
+from repro.core.input_database import input_constraints
+from repro.core.tuplespace import ProblemSpace
+from repro.datasets import schema_with_fks, university_sample_database
+from repro.engine.database import Database
+from repro.solver import Solver
+from repro.solver.model import SymbolTable
+from repro.sql.parser import parse_query
+from repro.testing.report import format_suite
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_xdata_error(self):
+        for name in (
+            "SqlError", "LexError", "ParseError", "UnsupportedSqlError",
+            "SchemaError", "CatalogError", "EngineError", "IntegrityError",
+            "ExecutionError", "SolverError", "UnsatisfiableError",
+            "SolverLimitError", "GenerationError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.XDataError)
+
+    def test_integrity_error_carries_violations(self):
+        err = errors.IntegrityError("boom", ["v1", "v2"])
+        assert err.violations == ["v1", "v2"]
+
+    def test_lex_error_position(self):
+        err = errors.LexError("bad", "text", 3)
+        assert err.position == 3
+
+
+class TestSymbolTable:
+    def test_interning_is_stable(self):
+        table = SymbolTable()
+        first = table.intern("pool", "CS")
+        assert table.intern("pool", "CS") == first
+        assert table.decode(first) == "CS"
+
+    def test_pools_have_disjoint_code_ranges(self):
+        table = SymbolTable()
+        a = table.intern("pool_a", "x")
+        b = table.intern("pool_b", "x")
+        assert a != b
+
+    def test_fresh_symbols_named_after_pool(self):
+        table = SymbolTable()
+        code = table.fresh("department.dept_name")
+        assert table.decode(code) == "dept_name~1"
+        assert table.decode(table.fresh("department.dept_name")) == "dept_name~2"
+
+    def test_known_codes_sorted(self):
+        table = SymbolTable()
+        codes = [table.intern("p", v) for v in ("c", "a", "b")]
+        assert table.known_codes("p") == sorted(codes)
+
+
+class TestFormatSuite:
+    def test_includes_skips_and_groups(self):
+        schema = schema_with_fks(["teaches.id"])
+        suite = XDataGenerator(schema).generate(
+            "SELECT * FROM instructor i, teaches t WHERE i.id = t.id"
+        )
+        text = format_suite(suite)
+        assert "datasets: 2" in text
+        assert "skipped:structurally-equivalent" in text
+        assert "generation time" in text
+
+
+class TestInputConstraints:
+    def _space(self, schema):
+        aq = analyze_query(
+            parse_query("SELECT * FROM instructor i WHERE i.salary > 0"),
+            schema,
+        )
+        space = ProblemSpace(aq, Solver())
+        space.finalize_declarations()
+        return space
+
+    def test_domain_mode_one_constraint_per_column_slot(self):
+        schema = schema_with_fks([])
+        space = self._space(schema)
+        sample = university_sample_database(schema)
+        constraints = input_constraints(space, sample, "domain")
+        # instructor has 4 columns, 1 slot.
+        assert len(constraints) == 4
+
+    def test_tuples_mode_one_constraint_per_slot(self):
+        schema = schema_with_fks([])
+        space = self._space(schema)
+        sample = university_sample_database(schema)
+        constraints = input_constraints(space, sample, "tuples")
+        assert len(constraints) == 1
+
+    def test_empty_input_relation_contributes_nothing(self):
+        schema = schema_with_fks([])
+        space = self._space(schema)
+        empty = Database(schema)
+        assert input_constraints(space, empty, "domain") == []
+
+    def test_unknown_mode_rejected(self):
+        schema = schema_with_fks([])
+        space = self._space(schema)
+        with pytest.raises(ValueError):
+            input_constraints(space, Database(schema), "nope")
+
+    def test_tuples_mode_constrains_whole_rows(self):
+        schema = schema_with_fks([])
+        sample = university_sample_database(schema)
+        config = GenConfig(input_db=sample, input_mode="tuples")
+        suite = XDataGenerator(schema, config).generate(
+            "SELECT * FROM instructor i WHERE i.salary > 90000"
+        )
+        original = suite.datasets[0]
+        assert original.used_input_db
+        sample_rows = set(sample.relation("instructor").rows)
+        for row in original.db.relation("instructor").rows:
+            assert row in sample_rows
+
+
+class TestGeneratedDatasetPretty:
+    def test_pretty_mentions_relaxation(self):
+        from repro.schema.catalog import Column, Schema, Table
+        from repro.schema.types import SqlType
+
+        schema = Schema(
+            [
+                Table(
+                    "t",
+                    [Column("g", SqlType.INT), Column("a", SqlType.INT)],
+                    primary_key=("g",),
+                )
+            ]
+        )
+        suite = XDataGenerator(schema).generate(
+            "SELECT t.g, SUM(t.a) FROM t GROUP BY t.g"
+        )
+        agg = next(d for d in suite.datasets if d.group == "aggregate")
+        assert "relaxed" in agg.pretty()

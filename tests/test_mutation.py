@@ -1,0 +1,204 @@
+"""Mutation-space tests: join-type, comparison, aggregate mutants."""
+
+import pytest
+
+from repro.core.analyze import analyze_query
+from repro.engine.executor import execute_plan
+from repro.engine.plan import compile_query
+from repro.mutation import enumerate_mutants
+from repro.mutation.jointype import (
+    join_mutants,
+    plan_canonical,
+)
+from repro.sql.parser import parse_query
+from repro.testing.killcheck import result_signature
+
+
+def analyze(sql, schema):
+    return analyze_query(parse_query(sql), schema)
+
+
+TWO = "SELECT * FROM instructor i, teaches t WHERE i.id = t.id"
+CHAIN3 = (
+    "SELECT * FROM instructor i, teaches t, course c "
+    "WHERE i.id = t.id AND t.course_id = c.course_id"
+)
+
+
+class TestJoinMutants:
+    def test_two_relations_two_mutants(self, uni_schema_nofk):
+        mutants = join_mutants(analyze(TWO, uni_schema_nofk))
+        assert len(mutants) == 2  # LEFT and RIGHT (full excluded by default)
+
+    def test_full_outer_included_on_request(self, uni_schema_nofk):
+        mutants = join_mutants(analyze(TWO, uni_schema_nofk), include_full=True)
+        assert len(mutants) == 3
+
+    def test_chain3_mutant_count(self, uni_schema_nofk):
+        """2 shapes x 2 nodes x 2 outer kinds, deduplicated."""
+        mutants = join_mutants(analyze(CHAIN3, uni_schema_nofk))
+        assert len(mutants) == 8
+
+    def test_mirror_mutants_deduplicated(self, uni_schema_nofk):
+        """A LEFT join and the mirrored RIGHT join are one mutant."""
+        mutants = join_mutants(analyze(TWO, uni_schema_nofk))
+        canonicals = {m.canonical for m in mutants}
+        assert len(canonicals) == len(mutants)
+        # Both surviving canonicals are LEFT joins after normalisation.
+        assert all(" L " in c for c in canonicals)
+
+    def test_reordered_tree_mutants_present(self, uni_schema_nofk):
+        """Fig. 2(d): the intended query joining A with C directly."""
+        sql = (
+            "SELECT * FROM teaches t, course c, prereq p "
+            "WHERE t.course_id = c.course_id AND c.course_id = p.course_id"
+        )
+        mutants = join_mutants(analyze(sql, uni_schema_nofk))
+        assert any(
+            "(p L t)" in m.canonical or "(t L p)" in m.canonical
+            for m in mutants
+        )
+
+    def test_single_relation_no_join_mutants(self, uni_schema_nofk):
+        assert join_mutants(analyze("SELECT * FROM course", uni_schema_nofk)) == []
+
+    def test_mutant_plans_execute(self, uni_db):
+        aq = analyze(CHAIN3, uni_db.schema)
+        for mutant in join_mutants(aq):
+            execute_plan(mutant.plan, uni_db)  # no exception
+
+    def test_outer_query_mutates_written_tree_only(self, uni_schema_nofk):
+        sql = (
+            "SELECT i.id, t.id FROM instructor i "
+            "LEFT OUTER JOIN teaches t ON i.id = t.id"
+        )
+        aq = analyze(sql, uni_schema_nofk)
+        mutants = join_mutants(aq)
+        # LEFT -> INNER, LEFT -> RIGHT (mirrored), deduplicated.
+        assert 1 <= len(mutants) <= 3
+        descriptions = {m.description for m in mutants}
+        assert any("JOIN" in d for d in descriptions)
+
+    def test_inner_mutant_of_outer_join_differs(self, uni_db):
+        sql = (
+            "SELECT i.id, t.id FROM instructor i "
+            "LEFT OUTER JOIN teaches t ON i.id = t.id"
+        )
+        aq = analyze(sql, uni_db.schema)
+        original = result_signature(
+            execute_plan(compile_query(aq.query), uni_db)
+        )
+        inner_mutant = next(
+            m for m in join_mutants(aq) if "-> JOIN" in m.description
+        )
+        mutated = result_signature(execute_plan(inner_mutant.plan, uni_db))
+        assert mutated != original  # sample db has non-teaching instructors
+
+
+class TestCanonical:
+    def test_inner_children_sorted(self, uni_schema_nofk):
+        aq = analyze(TWO, uni_schema_nofk)
+        from repro.core.joinorders import enumerate_shapes, shape_to_plan
+
+        shape = enumerate_shapes(aq)[0]
+        assert plan_canonical(shape_to_plan(aq, shape)) == "(i J t)"
+
+    def test_right_normalised_to_left(self, uni_schema_nofk):
+        from repro.core.joinorders import enumerate_shapes, shape_nodes, shape_to_plan
+        from repro.sql.ast import JoinKind
+
+        aq = analyze(TWO, uni_schema_nofk)
+        shape = enumerate_shapes(aq)[0]
+        node = shape_nodes(shape)[0]
+        right = shape_to_plan(aq, shape, kinds={node: JoinKind.RIGHT})
+        canonical = plan_canonical(right)
+        assert " L " in canonical
+
+
+class TestComparisonMutants:
+    def test_numeric_selection_five_mutants(self, uni_schema_nofk):
+        space = enumerate_mutants(
+            "SELECT * FROM instructor i WHERE i.salary > 100",
+            uni_schema_nofk,
+            include_join=False,
+        )
+        assert len(space.by_kind("comparison")) == 5
+
+    def test_string_selection_five_mutants(self, uni_schema_nofk):
+        """Strings carry the full operator space (ordered interning)."""
+        space = enumerate_mutants(
+            "SELECT * FROM instructor i WHERE i.dept_name = 'CS'",
+            uni_schema_nofk,
+            include_join=False,
+        )
+        assert len(space.by_kind("comparison")) == 5
+
+    def test_join_conjuncts_not_mutated(self, uni_schema_nofk):
+        space = enumerate_mutants(TWO, uni_schema_nofk, include_join=False)
+        assert space.by_kind("comparison") == []
+
+    def test_mutants_execute_differently_when_expected(self, uni_db):
+        space = enumerate_mutants(
+            "SELECT i.id FROM instructor i WHERE i.salary > 70000",
+            uni_db.schema,
+            include_join=False,
+        )
+        original = result_signature(
+            execute_plan(compile_query(space.analyzed.query), uni_db)
+        )
+        ge_mutant = next(
+            m for m in space.mutants if "'i.salary >= 70000'" in m.description
+        )
+        # salary 70000 is not in the sample db, so >= agrees with > there;
+        # the mutant still runs fine.
+        execute_plan(ge_mutant.plan, uni_db)
+
+
+class TestAggregateMutants:
+    def test_numeric_aggregate_seven_mutants(self, uni_schema_nofk):
+        space = enumerate_mutants(
+            "SELECT SUM(i.salary) FROM instructor i",
+            uni_schema_nofk,
+        )
+        assert len(space.by_kind("aggregate")) == 7
+
+    def test_string_aggregate_three_mutants(self, uni_schema_nofk):
+        space = enumerate_mutants(
+            "SELECT MIN(i.name) FROM instructor i",
+            uni_schema_nofk,
+        )
+        assert len(space.by_kind("aggregate")) == 3
+
+    def test_count_star_not_mutated(self, uni_schema_nofk):
+        space = enumerate_mutants(
+            "SELECT COUNT(*) FROM instructor", uni_schema_nofk
+        )
+        assert space.by_kind("aggregate") == []
+
+    def test_distinct_variant_is_a_mutant(self, uni_schema_nofk):
+        space = enumerate_mutants(
+            "SELECT SUM(i.salary) FROM instructor i", uni_schema_nofk
+        )
+        descriptions = {m.description for m in space.by_kind("aggregate")}
+        assert "SUM(i.salary) -> SUM(DISTINCT i.salary)" in descriptions
+
+
+class TestSpace:
+    def test_combined_space(self, uni_schema_nofk):
+        sql = (
+            "SELECT i.dept_name, SUM(i.salary) "
+            "FROM instructor i, teaches t "
+            "WHERE i.id = t.id AND i.salary > 100 "
+            "GROUP BY i.dept_name"
+        )
+        space = enumerate_mutants(sql, uni_schema_nofk)
+        assert space.by_kind("join")
+        assert space.by_kind("comparison")
+        assert space.by_kind("aggregate")
+        assert len(space) == sum(
+            len(space.by_kind(k)) for k in ("join", "comparison", "aggregate")
+        )
+
+    def test_schema_required_for_sql_input(self):
+        with pytest.raises(ValueError):
+            enumerate_mutants("SELECT * FROM t")

@@ -1,0 +1,77 @@
+"""End-to-end generation and kill checking for NATURAL-join queries.
+
+Covers assumptions A7/A8 territory: natural joins coalesce common
+columns, so mutant construction must preserve the written tree's output
+shape under ``SELECT *``.
+"""
+
+import pytest
+
+from repro.core import XDataGenerator
+from repro.datasets import schema_with_fks
+from repro.mutation import enumerate_mutants
+from repro.testing import classify_survivors, evaluate_suite
+
+
+def run(sql, fks=(), include_full=False):
+    schema = schema_with_fks(list(fks))
+    suite = XDataGenerator(schema).generate(sql)
+    space = enumerate_mutants(suite.analyzed, include_full_outer=include_full)
+    report = evaluate_suite(space, suite.databases)
+    classification = classify_survivors(space, report.survivors, trials=12)
+    return suite, report, classification
+
+
+def test_natural_inner_join_star_select():
+    sql = "SELECT * FROM teaches NATURAL JOIN prereq"
+    suite, report, classification = run(sql)
+    assert suite.non_original_count() >= 1
+    assert classification.missed == []
+    # No spurious kills: survivors + killed == total and killed mutants
+    # really differ (sanity covered by evaluate_suite itself).
+    assert report.killed + len(report.survivors) == report.total
+
+
+def test_natural_join_explicit_select_reorders_freely():
+    sql = (
+        "SELECT t.id, p.prereq_id FROM teaches t NATURAL JOIN prereq p"
+    )
+    suite, report, classification = run(sql)
+    assert classification.missed == []
+    assert report.killed == report.total  # both outer mutants die
+
+
+def test_natural_full_outer_join_a8():
+    """A8: one non-common attribute from each input in the select list."""
+    sql = (
+        "SELECT t.id, p.prereq_id FROM teaches t "
+        "NATURAL FULL OUTER JOIN prereq p"
+    )
+    suite, report, classification = run(sql, include_full=True)
+    assert classification.missed == []
+    assert report.killed >= 2
+
+
+def test_natural_join_with_fk():
+    sql = "SELECT * FROM course NATURAL JOIN prereq"
+    suite, report, classification = run(
+        sql, fks=["takes.course_id"]
+    )
+    assert classification.missed == []
+
+
+def test_natural_join_dataset_exhibits_difference():
+    sql = "SELECT * FROM teaches NATURAL JOIN prereq"
+    schema = schema_with_fks([])
+    suite = XDataGenerator(schema).generate(sql)
+    nullify = [d for d in suite.datasets if d.group == "eqclass"]
+    assert nullify
+    for dataset in nullify:
+        teaches_ids = {
+            row[1] for row in dataset.db.relation("teaches").rows
+        }
+        prereq_ids = {
+            row[0] for row in dataset.db.relation("prereq").rows
+        }
+        # One side has a course_id value the other side lacks.
+        assert teaches_ids != prereq_ids

@@ -1,0 +1,68 @@
+"""Executable version of the Section IV-A NP-hardness reduction.
+
+The reduction: containment of conjunctive queries Q2 ⊆ Q1 holds iff no
+dataset distinguishes ``Q2 JOIN Q1`` from ``Q2 LEFT-OUTER-JOIN Q1`` —
+i.e. iff the join/outer-join mutation is *equivalent*.  We exercise the
+two directions on small conjunctive queries where containment is known.
+"""
+
+from repro.core import XDataGenerator
+from repro.engine.executor import execute_query
+from repro.schema.catalog import Column, Schema, Table
+from repro.schema.types import SqlType
+from repro.sql.parser import parse_query
+from repro.testing.killcheck import result_signature
+
+
+def _schema():
+    return Schema(
+        [
+            Table("e", [Column("src", SqlType.INT), Column("dst", SqlType.INT)]),
+        ]
+    )
+
+
+def test_non_containment_yields_distinguishing_dataset():
+    """Q1 = paths of length 2, Q2 = edges: Q2 not contained in Q1.
+
+    The generator must produce a dataset where some edge does not extend
+    to a 2-path — exactly a witness of non-containment.
+    """
+    schema = _schema()
+    # Edge (x, y) with an extension (y, z): the join side.
+    sql = (
+        "SELECT e1.src, e1.dst FROM e e1, e e2 WHERE e1.dst = e2.src"
+    )
+    suite = XDataGenerator(schema).generate(sql)
+    # The nullification dataset for e2.src is the witness: an e1 edge with
+    # no continuation.
+    witness = next(
+        (d for d in suite.datasets if "nullify e2.src" in d.target), None
+    )
+    assert witness is not None
+    inner = parse_query(sql)
+    outer = parse_query(
+        "SELECT e1.src, e1.dst FROM e e1 LEFT OUTER JOIN e e2 ON e1.dst = e2.src"
+    )
+    inner_result = result_signature(execute_query(inner, witness.db))
+    outer_result = result_signature(execute_query(outer, witness.db))
+    assert inner_result != outer_result
+
+
+def test_containment_yields_equivalence():
+    """Identity containment: joining a relation with itself on equal keys.
+
+    Q2 = Q1 = all edges; every edge trivially matches itself, so the
+    outer-join mutation is equivalent and the generator reports the
+    nullification group as skipped.
+    """
+    schema = _schema()
+    sql = (
+        "SELECT e1.src FROM e e1, e e2 "
+        "WHERE e1.src = e2.src AND e1.dst = e2.dst"
+    )
+    suite = XDataGenerator(schema).generate(sql)
+    # All four nullification targets hit the same relation array: P empty.
+    assert suite.non_original_count() == 0
+    assert len(suite.skipped) == 4
+    assert all(s.reason == "structurally-equivalent" for s in suite.skipped)

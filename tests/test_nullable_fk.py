@@ -1,0 +1,71 @@
+"""Section V-H extension: NULL foreign keys as a nullification alternative."""
+
+import pytest
+
+from repro.core import XDataGenerator
+from repro.datasets import university_schema
+from repro.datasets.university import schema_with_fks
+from repro.engine.integrity import find_violations
+from repro.mutation import enumerate_mutants
+from repro.testing import classify_survivors, evaluate_suite
+
+SQL = "SELECT * FROM instructor i, advisor a WHERE i.id = a.i_id"
+
+
+def _nullable_schema():
+    base = university_schema(allow_nullable_fks=True)
+    return schema_with_fks(["advisor.i_id"], base=base)
+
+
+def test_null_fk_dataset_generated():
+    suite = XDataGenerator(_nullable_schema()).generate(SQL)
+    null_sets = [d for d in suite.datasets if "null-fk" in d.target]
+    assert len(null_sets) == 1
+    rows = null_sets[0].db.relation("advisor").rows
+    assert any(row[1] is None for row in rows)
+
+
+def test_null_fk_dataset_is_legal():
+    suite = XDataGenerator(_nullable_schema()).generate(SQL)
+    for dataset in suite.datasets:
+        assert find_violations(dataset.db) == []
+
+
+def test_null_fk_kills_the_otherwise_equivalent_mutant():
+    suite = XDataGenerator(_nullable_schema()).generate(SQL)
+    space = enumerate_mutants(suite.analyzed)
+    report = evaluate_suite(space, suite.databases)
+    assert report.killed == report.total == 2
+    classification = classify_survivors(space, report.survivors)
+    assert classification.missed == []
+
+
+def test_strict_fk_schema_skips_the_group():
+    schema = schema_with_fks(["advisor.i_id"])  # A2: FK forced NOT NULL
+    suite = XDataGenerator(schema).generate(SQL)
+    assert not any("null-fk" in d.target for d in suite.datasets)
+    assert any(s.reason == "structurally-equivalent" for s in suite.skipped)
+    space = enumerate_mutants(suite.analyzed)
+    report = evaluate_suite(space, suite.databases)
+    assert report.killed == 1  # the i-preserving outer mutant is equivalent
+
+
+def test_pk_column_never_forced_null():
+    """teaches.id is part of teaches' primary key: NULL is not an option."""
+    base = university_schema(allow_nullable_fks=True)
+    schema = schema_with_fks(["teaches.id"], base=base)
+    sql = "SELECT * FROM instructor i, teaches t WHERE i.id = t.id"
+    suite = XDataGenerator(schema).generate(sql)
+    assert not any("null-fk" in d.target for d in suite.datasets)
+
+
+def test_selection_on_fk_column_blocks_null_strategy():
+    """A predicate over the FK column would evaluate UNKNOWN on NULL."""
+    base = university_schema(allow_nullable_fks=True)
+    schema = schema_with_fks(["advisor.i_id"], base=base)
+    sql = (
+        "SELECT * FROM instructor i, advisor a "
+        "WHERE i.id = a.i_id AND a.i_id > 0"
+    )
+    suite = XDataGenerator(schema).generate(sql)
+    assert not any("null-fk" in d.target for d in suite.datasets)

@@ -1,0 +1,129 @@
+"""IS [NOT] NULL predicates — lifting assumption A6."""
+
+import pytest
+
+from repro.core import XDataGenerator, analyze_query
+from repro.datasets import schema_with_fks
+from repro.engine.executor import execute_query
+from repro.errors import UnsupportedSqlError
+from repro.mutation import enumerate_mutants
+from repro.sql.ast import NullTest
+from repro.sql.parser import parse_query
+from repro.sql.printer import to_sql
+from repro.testing import classify_survivors, evaluate_suite
+
+NULL_SQL = "SELECT s.id, s.name FROM student s WHERE s.tot_cred IS NULL"
+NOT_NULL_SQL = "SELECT s.id FROM student s WHERE s.tot_cred IS NOT NULL"
+
+
+class TestParsing:
+    def test_is_null_parses(self):
+        query = parse_query(NULL_SQL)
+        pred = query.where[0]
+        assert isinstance(pred, NullTest)
+        assert not pred.negated
+
+    def test_is_not_null_parses(self):
+        assert parse_query(NOT_NULL_SQL).where[0].negated
+
+    def test_round_trip(self):
+        for sql in (NULL_SQL, NOT_NULL_SQL):
+            query = parse_query(sql)
+            assert parse_query(to_sql(query)) == query
+
+    def test_is_null_on_expression_rejected(self):
+        with pytest.raises(UnsupportedSqlError):
+            parse_query("SELECT * FROM t WHERE a + 1 IS NULL")
+
+
+class TestEngine:
+    def test_null_rows_selected(self, uni_schema_nofk):
+        from repro.engine.database import Database
+
+        db = Database(uni_schema_nofk)
+        db.insert("student", (1, "Zhang", "CS", None))
+        db.insert("student", (2, "Shankar", "CS", 32))
+        result = execute_query(parse_query(NULL_SQL), db)
+        assert result.rows == [(1, "Zhang")]
+        result = execute_query(parse_query(NOT_NULL_SQL), db)
+        assert result.rows == [(2,)]
+
+
+class TestValidation:
+    def test_not_null_column_rejected_for_positive_test(self, uni_schema):
+        # instructor.dept_name is an FK column -> NOT NULL under A2.
+        with pytest.raises(UnsupportedSqlError):
+            analyze_query(
+                parse_query(
+                    "SELECT * FROM instructor i WHERE i.dept_name IS NULL"
+                ),
+                uni_schema,
+            )
+
+    def test_outer_join_combination_rejected(self, uni_schema_nofk):
+        with pytest.raises(UnsupportedSqlError):
+            analyze_query(
+                parse_query(
+                    "SELECT i.id FROM instructor i LEFT OUTER JOIN teaches t "
+                    "ON i.id = t.id WHERE t.year IS NULL"
+                ),
+                uni_schema_nofk,
+            )
+
+    def test_column_in_other_predicate_rejected(self, uni_schema_nofk):
+        with pytest.raises(UnsupportedSqlError):
+            analyze_query(
+                parse_query(
+                    "SELECT s.id FROM student s "
+                    "WHERE s.tot_cred IS NULL AND s.tot_cred > 5"
+                ),
+                uni_schema_nofk,
+            )
+
+
+class TestGenerationAndKilling:
+    def test_flip_mutant_in_space(self, uni_schema_nofk):
+        space = enumerate_mutants(NULL_SQL, uni_schema_nofk)
+        null_mutants = space.by_kind("nulltest")
+        assert len(null_mutants) == 1
+        assert "IS NOT NULL" in null_mutants[0].description
+
+    def test_original_dataset_has_null_value(self, uni_schema_nofk):
+        suite = XDataGenerator(uni_schema_nofk).generate(NULL_SQL)
+        original = suite.datasets[0]
+        rows = original.db.relation("student").rows
+        assert any(row[3] is None for row in rows)
+        assert len(execute_query(parse_query(NULL_SQL), original.db)) >= 1
+
+    def test_violation_dataset_has_value(self, uni_schema_nofk):
+        suite = XDataGenerator(uni_schema_nofk).generate(NULL_SQL)
+        violation = next(d for d in suite.datasets if d.group == "nulltest")
+        rows = violation.db.relation("student").rows
+        assert all(row[3] is not None for row in rows)
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            NULL_SQL,
+            NOT_NULL_SQL,
+            "SELECT s.name, k.grade FROM student s, takes k "
+            "WHERE s.id = k.id AND k.grade IS NULL",
+            "SELECT s.id FROM student s "
+            "WHERE s.tot_cred IS NOT NULL AND s.name <> 'Wu'",
+        ],
+    )
+    def test_all_mutants_killed_or_equivalent(self, sql, uni_schema_nofk):
+        suite = XDataGenerator(uni_schema_nofk).generate(sql)
+        space = enumerate_mutants(suite.analyzed)
+        report = evaluate_suite(space, suite.databases)
+        classification = classify_survivors(space, report.survivors, trials=12)
+        assert classification.missed == []
+        null_outcomes = [
+            o for o in report.outcomes if o.mutant.kind == "nulltest"
+        ]
+        assert null_outcomes and all(o.killed for o in null_outcomes)
+
+    def test_datasets_remain_legal(self, uni_schema_nofk):
+        suite = XDataGenerator(uni_schema_nofk).generate(NULL_SQL)
+        for dataset in suite.datasets:
+            dataset.db.validate()

@@ -1,0 +1,64 @@
+"""Printer tests, including parse -> print -> parse round-trips."""
+
+import pytest
+
+from repro.sql.parser import parse_query
+from repro.sql.printer import to_sql
+
+ROUND_TRIP_QUERIES = [
+    "SELECT * FROM t",
+    "SELECT a, b FROM t",
+    "SELECT t.a AS x FROM t",
+    "SELECT DISTINCT a FROM t",
+    "SELECT * FROM instructor i, teaches t WHERE i.id = t.id",
+    "SELECT * FROM a JOIN b ON a.x = b.x",
+    "SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x",
+    "SELECT * FROM a RIGHT OUTER JOIN b ON a.x = b.x",
+    "SELECT * FROM a FULL OUTER JOIN b ON a.x = b.x",
+    "SELECT * FROM a CROSS JOIN b",
+    "SELECT * FROM a NATURAL JOIN b",
+    "SELECT * FROM a NATURAL FULL OUTER JOIN b",
+    "SELECT * FROM a JOIN b ON a.x = b.x AND a.y = b.y",
+    "SELECT * FROM t WHERE a = 5 AND b <> 'CS'",
+    "SELECT * FROM t, s WHERE t.a = s.b + 10",
+    "SELECT a, COUNT(b) FROM t GROUP BY a",
+    "SELECT SUM(DISTINCT a) FROM t",
+    "SELECT COUNT(*) FROM t",
+    "SELECT a, AVG(b), MIN(c) FROM t GROUP BY a",
+    "SELECT * FROM a JOIN (b JOIN c ON b.y = c.y) ON a.x = b.y",
+]
+
+
+@pytest.mark.parametrize("sql", ROUND_TRIP_QUERIES)
+def test_round_trip_is_fixpoint(sql):
+    """parse(print(parse(s))) == parse(s), and printing is stable."""
+    first = parse_query(sql)
+    printed = to_sql(first)
+    second = parse_query(printed)
+    assert first == second
+    assert to_sql(second) == printed
+
+
+def test_string_literal_escaping():
+    q = parse_query("SELECT * FROM t WHERE a = 'O''Brien'")
+    printed = to_sql(q)
+    assert "O''Brien" in printed
+    assert parse_query(printed) == q
+
+
+def test_negative_literal_round_trips():
+    q = parse_query("SELECT * FROM t WHERE a = -5")
+    assert parse_query(to_sql(q)) == q
+
+
+def test_arithmetic_parenthesised():
+    q = parse_query("SELECT * FROM t WHERE a = (b + c) * 2")
+    # Printing parenthesises every binary op, preserving structure.
+    assert parse_query(to_sql(q)) == q
+
+
+def test_aliases_preserved():
+    q = parse_query("SELECT i.name AS who FROM instructor i")
+    printed = to_sql(q)
+    assert "AS who" in printed
+    assert "instructor i" in printed

@@ -1,0 +1,289 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import XDataGenerator
+from repro.datasets import FK_EDGES, schema_with_fks
+from repro.engine import Database, execute_query
+from repro.engine.integrity import find_violations
+from repro.mutation import enumerate_mutants
+from repro.schema.catalog import Column, Schema, Table
+from repro.schema.types import SqlType
+from repro.solver import Solver
+from repro.solver import builders as b
+from repro.solver.search import eval_formula
+from repro.solver.solver import unfold_formula
+from repro.sql.parser import parse_query
+from repro.sql.printer import to_sql
+from repro.testing import evaluate_suite, random_database
+from repro.testing.killcheck import result_signature
+
+# ---------------------------------------------------------------------------
+# Solver properties
+# ---------------------------------------------------------------------------
+
+_VARS = ["v0", "v1", "v2", "v3"]
+
+
+@st.composite
+def atoms(draw):
+    left = draw(st.sampled_from(_VARS))
+    op = draw(st.sampled_from(["=", "<>", "<", "<=", ">", ">="]))
+    if draw(st.booleans()):
+        right = b.var(draw(st.sampled_from(_VARS)))
+    else:
+        right = b.const(draw(st.integers(-5, 5)))
+    offset = draw(st.integers(-3, 3))
+    return b.compare(op, b.var(left), right + b.const(offset))
+
+
+@st.composite
+def formulas(draw):
+    pool = draw(st.lists(atoms(), min_size=1, max_size=4))
+    shape = draw(st.sampled_from(["atom", "disj", "forall", "exists", "neg"]))
+    if shape == "atom":
+        return pool[0]
+    if shape == "disj":
+        return b.disj(pool)
+    if shape == "forall":
+        return b.forall(pool)
+    if shape == "exists":
+        return b.exists(pool)
+    return b.neg(b.disj(pool))
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(formulas(), min_size=1, max_size=6))
+def test_solver_models_satisfy_constraints(formula_list):
+    solver = Solver()
+    for name in _VARS:
+        solver.int_var(name)
+    solver.add_all(formula_list)
+    model = solver.solve()
+    if model is not None:
+        for formula in formula_list:
+            assert (
+                eval_formula(unfold_formula(formula), model.assignment) is True
+            )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(formulas(), min_size=1, max_size=4))
+def test_unfolded_and_lazy_modes_agree(formula_list):
+    solver = Solver()
+    for name in _VARS:
+        solver.int_var(name)
+    solver.add_all(formula_list)
+    unfolded = solver.solve(unfold=True)
+    lazy = solver.solve(unfold=False)
+    assert (unfolded is None) == (lazy is None)
+
+
+# ---------------------------------------------------------------------------
+# Parser / printer round-trip over generated queries
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def chain_queries(draw):
+    tables = draw(
+        st.lists(
+            st.sampled_from(["instructor", "teaches", "course", "student"]),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    aliases = [f"t{i}" for i in range(len(tables))]
+    from_clause = ", ".join(f"{t} {a}" for t, a in zip(tables, aliases))
+    conjuncts = []
+    for first, second in zip(aliases, aliases[1:]):
+        conjuncts.append(f"{first}.id = {second}.id")
+    if draw(st.booleans()):
+        conjuncts.append(f"{aliases[0]}.id > {draw(st.integers(0, 9))}")
+    sql = f"SELECT * FROM {from_clause}"
+    if conjuncts:
+        sql += " WHERE " + " AND ".join(conjuncts)
+    return sql
+
+
+@settings(max_examples=60, deadline=None)
+@given(chain_queries())
+def test_parse_print_roundtrip(sql):
+    query = parse_query(sql)
+    assert parse_query(to_sql(query)) == query
+
+
+# ---------------------------------------------------------------------------
+# Engine algebraic laws on random databases
+# ---------------------------------------------------------------------------
+
+
+def _random_rs_db(seed):
+    schema = Schema(
+        [
+            Table("r", [Column("a", SqlType.INT), Column("b", SqlType.INT)]),
+            Table("s", [Column("a", SqlType.INT), Column("c", SqlType.INT)]),
+        ]
+    )
+    rng = random.Random(seed)
+    db = Database(schema)
+    for _ in range(rng.randrange(0, 5)):
+        db.insert("r", (rng.randrange(3), rng.randrange(3)))
+    for _ in range(rng.randrange(0, 5)):
+        db.insert("s", (rng.randrange(3), rng.randrange(3)))
+    return db
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10_000))
+def test_join_commutativity(seed):
+    db = _random_rs_db(seed)
+    ab = execute_query(
+        parse_query("SELECT r.a, s.c FROM r JOIN s ON r.a = s.a"), db
+    )
+    ba = execute_query(
+        parse_query("SELECT r.a, s.c FROM s JOIN r ON r.a = s.a"), db
+    )
+    assert result_signature(ab) == result_signature(ba)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10_000))
+def test_outer_join_contains_inner_join(seed):
+    db = _random_rs_db(seed)
+    inner = execute_query(
+        parse_query("SELECT * FROM r JOIN s ON r.a = s.a"), db
+    )
+    outer = execute_query(
+        parse_query("SELECT * FROM r LEFT OUTER JOIN s ON r.a = s.a"), db
+    )
+    _, inner_bag = result_signature(inner)
+    _, outer_bag = result_signature(outer)
+    assert all(outer_bag[row] >= count for row, count in inner_bag.items())
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10_000))
+def test_left_right_outer_mirror(seed):
+    db = _random_rs_db(seed)
+    left = execute_query(
+        parse_query("SELECT r.a, r.b, s.c FROM r LEFT OUTER JOIN s ON r.a = s.a"),
+        db,
+    )
+    right = execute_query(
+        parse_query("SELECT r.a, r.b, s.c FROM s RIGHT OUTER JOIN r ON r.a = s.a"),
+        db,
+    )
+    assert result_signature(left) == result_signature(right)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10_000))
+def test_selection_pushdown_equivalence(seed):
+    db = _random_rs_db(seed)
+    above = execute_query(
+        parse_query(
+            "SELECT * FROM r JOIN s ON r.a = s.a WHERE r.b > 1"
+        ),
+        db,
+    )
+    pushed = execute_query(
+        parse_query(
+            "SELECT * FROM r, s WHERE r.a = s.a AND r.b > 1"
+        ),
+        db,
+    )
+    assert result_signature(above) == result_signature(pushed)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_full_outer_is_union_of_left_and_right_pads(seed):
+    db = _random_rs_db(seed)
+    full = execute_query(
+        parse_query("SELECT * FROM r FULL OUTER JOIN s ON r.a = s.a"), db
+    )
+    left = execute_query(
+        parse_query("SELECT * FROM r LEFT OUTER JOIN s ON r.a = s.a"), db
+    )
+    _, full_bag = result_signature(full)
+    _, left_bag = result_signature(left)
+    assert all(full_bag[row] >= count for row, count in left_bag.items())
+
+
+# ---------------------------------------------------------------------------
+# Random legal instances + generator legality
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000), st.integers(1, 6))
+def test_random_database_always_legal(seed, rows):
+    schema = schema_with_fks(list(FK_EDGES))
+    db = random_database(schema, random.Random(seed), rows_per_table=rows)
+    assert find_violations(db) == []
+
+
+@st.composite
+def generation_cases(draw):
+    fks = draw(
+        st.lists(
+            st.sampled_from(sorted(FK_EDGES)), max_size=4, unique=True
+        )
+    )
+    sql = draw(
+        st.sampled_from(
+            [
+                "SELECT * FROM instructor i, teaches t WHERE i.id = t.id",
+                "SELECT * FROM instructor i, teaches t, course c "
+                "WHERE i.id = t.id AND t.course_id = c.course_id",
+                "SELECT * FROM student s, takes k "
+                "WHERE s.id = k.id AND s.tot_cred > 50",
+                "SELECT i.dept_name, COUNT(t.course_id) FROM instructor i, "
+                "teaches t WHERE i.id = t.id GROUP BY i.dept_name",
+                "SELECT * FROM course c WHERE c.credits >= 3",
+            ]
+        )
+    )
+    return fks, sql
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(generation_cases())
+def test_generated_datasets_always_legal_and_original_nonempty(case):
+    fks, sql = case
+    schema = schema_with_fks(fks)
+    suite = XDataGenerator(schema).generate(sql)
+    assert suite.datasets, "at least the original-query dataset"
+    for dataset in suite.datasets:
+        assert find_violations(dataset.db) == []
+    original = suite.datasets[0]
+    result = execute_query(parse_query(sql), original.db)
+    assert len(result) >= 1
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(generation_cases())
+def test_killed_plus_equivalent_covers_space(case):
+    """No mutant is both unkilled and distinguishable on the suite's own
+    datasets — evaluate_suite's survivors never disagree with the
+    original on any dataset of the suite (sanity of the kill matrix)."""
+    fks, sql = case
+    schema = schema_with_fks(fks)
+    suite = XDataGenerator(schema).generate(sql)
+    space = enumerate_mutants(suite.analyzed)
+    report = evaluate_suite(space, suite.databases)
+    for outcome in report.outcomes:
+        assert outcome.killed == bool(outcome.killed_by)

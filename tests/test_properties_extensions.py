@@ -1,0 +1,125 @@
+"""Property-based tests over the extension features."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import GenConfig, XDataGenerator
+from repro.datasets import schema_with_fks
+from repro.engine.executor import execute_query
+from repro.engine.export import from_csv_map, to_csv_map
+from repro.engine.integrity import find_violations
+from repro.schema.catalog import Column, Schema, Table
+from repro.schema.types import SqlType
+from repro.sql.parser import parse_query
+from repro.testing import evaluate_suite, random_database
+from repro.mutation import enumerate_mutants
+
+
+# ---------------------------------------------------------------------------
+# HAVING: for random thresholds, the three forced datasets behave
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def having_cases(draw):
+    func = draw(st.sampled_from(["SUM", "MIN", "MAX", "AVG", "COUNT"]))
+    op = draw(st.sampled_from(["=", "<", ">", "<=", ">="]))
+    constant = draw(st.integers(2, 40))
+    return func, op, constant
+
+
+@settings(
+    max_examples=30, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(having_cases())
+def test_having_original_dataset_nonempty_when_feasible(case):
+    func, op, constant = case
+    schema = schema_with_fks([])
+    sql = (
+        f"SELECT i.dept_name, {func}(i.salary) FROM instructor i "
+        f"GROUP BY i.dept_name HAVING {func}(i.salary) {op} {constant}"
+    )
+    suite = XDataGenerator(schema).generate(sql)
+    for dataset in suite.datasets:
+        assert find_violations(dataset.db) == []
+    original = suite.datasets[0]
+    result = execute_query(parse_query(sql), original.db)
+    # COUNT thresholds beyond MAX_COPIES can be infeasible; everything
+    # else must produce a visible group.
+    if func != "COUNT" or constant <= 6:
+        assert len(result) >= 1, (case, original.db.pretty())
+
+
+# ---------------------------------------------------------------------------
+# CSV export round-trips arbitrary generated instances
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 100_000), st.integers(1, 5))
+def test_csv_roundtrip_of_random_instances(seed, rows):
+    schema = schema_with_fks(["teaches.id", "takes.id"])
+    db = random_database(schema, random.Random(seed), rows_per_table=rows)
+    rebuilt = from_csv_map(schema, to_csv_map(db))
+    for table in db.table_names:
+        assert rebuilt.relation(table).rows == db.relation(table).rows
+
+
+# ---------------------------------------------------------------------------
+# String-order: generated comparison datasets respect lexicographic order
+# ---------------------------------------------------------------------------
+
+
+@settings(
+    max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    st.text(
+        alphabet=st.characters(min_codepoint=65, max_codepoint=90),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_string_comparison_datasets_bracket_the_constant(constant):
+    schema = schema_with_fks([])
+    escaped = constant.replace("'", "''")
+    sql = f"SELECT i.name FROM instructor i WHERE i.name >= '{escaped}'"
+    suite = XDataGenerator(schema).generate(sql)
+    for dataset in suite.datasets:
+        if dataset.group != "comparison":
+            continue
+        name = dataset.db.relation("instructor").rows[0][1]
+        if "force =" in dataset.target:
+            assert name == constant
+        elif "force <" in dataset.target:
+            assert name < constant
+        else:
+            assert name > constant
+
+
+# ---------------------------------------------------------------------------
+# Null tests: the flip mutant is always killed on random nullable schemas
+# ---------------------------------------------------------------------------
+
+
+@settings(
+    max_examples=15, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.booleans(), st.integers(0, 3))
+def test_nulltest_flip_always_killed(negated, extra_cols):
+    columns = [Column("id", SqlType.INT), Column("v", SqlType.INT)]
+    for i in range(extra_cols):
+        columns.append(Column(f"x{i}", SqlType.INT))
+    schema = Schema([Table("t", columns, primary_key=("id",))])
+    keyword = "IS NOT NULL" if negated else "IS NULL"
+    sql = f"SELECT t.id FROM t WHERE t.v {keyword}"
+    suite = XDataGenerator(schema).generate(sql)
+    space = enumerate_mutants(suite.analyzed)
+    report = evaluate_suite(space, suite.databases)
+    outcomes = [o for o in report.outcomes if o.mutant.kind == "nulltest"]
+    assert outcomes and all(o.killed for o in outcomes)

@@ -1,0 +1,145 @@
+"""Catalog tests: tables, keys, FK closure, derived schemas."""
+
+import pytest
+
+from repro.errors import CatalogError, SchemaError
+from repro.schema.catalog import Column, ForeignKey, Schema, Table
+from repro.schema.types import SqlType
+
+
+def table(name, cols, pk=(), fks=()):
+    return Table(
+        name,
+        [Column(c, SqlType.INT) for c in cols],
+        primary_key=pk,
+        foreign_keys=list(fks),
+    )
+
+
+class TestTable:
+    def test_column_lookup_case_insensitive(self):
+        t = table("T", ["A", "B"])
+        assert t.name == "t"
+        assert t.has_column("a")
+        assert t.has_column("A")
+        assert t.column_index("B") == 1
+
+    def test_missing_column_raises(self):
+        t = table("t", ["a"])
+        with pytest.raises(CatalogError):
+            t.column("zz")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            table("t", ["a", "a"])
+
+    def test_pk_column_must_exist(self):
+        with pytest.raises(SchemaError):
+            table("t", ["a"], pk=("b",))
+
+
+class TestForeignKey:
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("s", ("a", "b"), "r", ("a",))
+
+    def test_names_lowered(self):
+        fk = ForeignKey("S", ("X",), "R", ("Y",))
+        assert fk.table == "s"
+        assert fk.column_pairs() == [("x", "y")]
+
+
+class TestSchemaValidation:
+    def test_unknown_ref_table_rejected(self):
+        bad = table("s", ["a"], fks=[ForeignKey("s", ("a",), "nope", ("a",))])
+        with pytest.raises(SchemaError):
+            Schema([bad])
+
+    def test_unknown_ref_column_rejected(self):
+        r = table("r", ["a"])
+        s = table("s", ["a"], fks=[ForeignKey("s", ("a",), "r", ("zz",))])
+        with pytest.raises(SchemaError):
+            Schema([r, s])
+
+    def test_unknown_fk_column_rejected(self):
+        r = table("r", ["a"])
+        s = table("s", ["a"], fks=[ForeignKey("s", ("zz",), "r", ("a",))])
+        with pytest.raises(SchemaError):
+            Schema([r, s])
+
+    def test_duplicate_table_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([table("t", ["a"]), table("t", ["b"])])
+
+    def test_fk_columns_forced_not_nullable(self):
+        """Assumption A2: FK columns become NOT NULL."""
+        r = table("r", ["a"], pk=("a",))
+        s = table("s", ["a"], fks=[ForeignKey("s", ("a",), "r", ("a",))])
+        schema = Schema([r, s])
+        assert not schema.table("s").column("a").nullable
+
+    def test_nullable_fks_allowed_when_opted_in(self):
+        """Section V-H relaxation."""
+        r = table("r", ["a"], pk=("a",))
+        s = table("s", ["a"], fks=[ForeignKey("s", ("a",), "r", ("a",))])
+        schema = Schema([r, s], allow_nullable_fks=True)
+        assert schema.table("s").column("a").nullable
+
+
+class TestFkClosure:
+    def make_chain(self):
+        """a.x -> b.x -> c.x"""
+        c = table("c", ["x"], pk=("x",))
+        b = table("b", ["x"], pk=("x",), fks=[ForeignKey("b", ("x",), "c", ("x",))])
+        a = table("a", ["x"], fks=[ForeignKey("a", ("x",), "b", ("x",))])
+        return Schema([a, b, c])
+
+    def test_direct_edges_present(self):
+        closure = self.make_chain().fk_closure()
+        assert ("a", "x", "b", "x") in closure
+        assert ("b", "x", "c", "x") in closure
+
+    def test_transitive_edge_added(self):
+        """Algorithm 1 preprocessing step 3."""
+        closure = self.make_chain().fk_closure()
+        assert ("a", "x", "c", "x") in closure
+
+    def test_referencing_is_transitive(self):
+        schema = self.make_chain()
+        assert schema.referencing("c", "x") == {("a", "x"), ("b", "x")}
+        assert schema.referencing("b", "x") == {("a", "x")}
+        assert schema.referencing("a", "x") == set()
+
+    def test_references_is_transitive(self):
+        schema = self.make_chain()
+        assert schema.references("a", "x") == {("b", "x"), ("c", "x")}
+
+    def test_self_referencing_cycle_terminates(self):
+        emp = Table(
+            "emp",
+            [Column("id", SqlType.INT), Column("mgr", SqlType.INT)],
+            primary_key=("id",),
+            foreign_keys=[ForeignKey("emp", ("mgr",), "emp", ("id",))],
+        )
+        schema = Schema([emp])
+        assert ("emp", "mgr", "emp", "id") in schema.fk_closure()
+
+
+class TestDerivedSchemas:
+    def test_without_foreign_keys_strips_all(self, uni_schema):
+        stripped = uni_schema.without_foreign_keys(0)
+        assert stripped.foreign_keys() == []
+
+    def test_without_foreign_keys_keeps_prefix(self, uni_schema):
+        kept = uni_schema.without_foreign_keys(2)
+        assert len(kept.foreign_keys()) == 2
+
+    def test_original_schema_unchanged(self, uni_schema):
+        count = len(uni_schema.foreign_keys())
+        uni_schema.without_foreign_keys(0)
+        assert len(uni_schema.foreign_keys()) == count
+
+    def test_table_lookup_case_insensitive(self, uni_schema):
+        assert uni_schema.table("INSTRUCTOR").name == "instructor"
+        with pytest.raises(CatalogError):
+            uni_schema.table("nope")

@@ -1,0 +1,121 @@
+"""Lazy quantifier instantiation (the 'without unfolding' mode)."""
+
+import pytest
+
+from repro.solver import Solver
+from repro.solver import builders as b
+from repro.solver.search import SearchConfig, eval_formula
+from repro.solver.solver import (
+    _contains_quantifier,
+    _instance_count,
+    unfold_formula,
+)
+from repro.solver.terms import Conj, Disj, Quantified
+
+
+class TestHelpers:
+    def test_contains_quantifier(self):
+        atom = b.eq(b.var("x"), b.const(1))
+        assert not _contains_quantifier(atom)
+        assert _contains_quantifier(b.forall([atom, atom]))
+        assert _contains_quantifier(Conj((atom, b.exists([atom]))))
+        assert _contains_quantifier(b.neg(Disj((atom, b.forall([atom])))))
+
+    def test_instance_count(self):
+        atom = b.eq(b.var("x"), b.const(1))
+        assert _instance_count(atom) == 0
+        assert _instance_count(b.forall([atom, atom, atom])) == 3
+        nested = b.forall([b.exists([atom, atom])])
+        assert _instance_count(nested) == 3
+
+    def test_unfold_forall_is_conj(self):
+        atom = b.eq(b.var("x"), b.const(1))
+        unfolded = unfold_formula(b.forall([atom, atom]))
+        assert isinstance(unfolded, Conj)
+
+    def test_unfold_exists_is_disj(self):
+        atom = b.eq(b.var("x"), b.const(1))
+        assert isinstance(unfold_formula(b.exists([atom, atom])), Disj)
+
+    def test_unfold_recursive(self):
+        inner = b.exists([b.eq(b.var("x"), b.const(1))])
+        unfolded = unfold_formula(b.forall([inner]))
+        assert not _contains_quantifier(unfolded)
+
+
+class TestLazySolve:
+    def test_iterations_recorded(self):
+        solver = Solver()
+        x = solver.int_var("x")
+        slots = [solver.int_var(f"s{i}") for i in range(3)]
+        # Ground part pins nothing; the not-exists must be learned.
+        solver.add(b.eq(x, b.const(0)))
+        solver.add(b.not_exists([b.eq(s, x) for s in slots]))
+        model = solver.solve(unfold=False)
+        assert model is not None
+        assert solver.last_stats.iterations >= 2  # at least one restart
+        assert not solver.last_stats.unfolded
+
+    def test_model_satisfies_quantifieds(self):
+        solver = Solver()
+        x = solver.int_var("x")
+        ys = [solver.int_var(f"y{i}") for i in range(4)]
+        solver.add(b.exists([b.eq(x, y) for y in ys]))
+        solver.add(b.forall([b.ge(y, b.const(3)) for y in ys]))
+        model = solver.solve(unfold=False)
+        for formula in solver.formulas:
+            assert eval_formula(formula, model.assignment) is True
+
+    def test_unsat_from_quantifier_interaction(self):
+        solver = Solver()
+        x = solver.int_var("x")
+        ys = [solver.int_var(f"y{i}") for i in range(2)]
+        solver.add(b.exists([b.eq(x, y) for y in ys]))          # x in ys
+        solver.add(b.not_exists([b.eq(y, x) for y in ys]))      # x not in ys
+        assert solver.solve(unfold=False) is None
+
+    def test_ground_only_problem_single_iteration(self):
+        solver = Solver()
+        x = solver.int_var("x")
+        solver.add(b.eq(x, b.const(3)))
+        model = solver.solve(unfold=False)
+        assert model.raw("x") == 3
+        assert solver.last_stats.iterations == 1
+
+    def test_fallback_when_naive_search_overruns(self, monkeypatch):
+        """When the suggestion-free pass hits the node budget, the lazy
+        loop retries that restart with suggestions enabled."""
+        from repro.errors import SolverLimitError
+        from repro.solver import search as search_module
+
+        original_run = search_module.GroundSearch.run
+        calls = []
+
+        def flaky_run(self):
+            calls.append(self._config.enable_suggestions)
+            if not self._config.enable_suggestions:
+                raise SolverLimitError("synthetic overrun")
+            return original_run(self)
+
+        monkeypatch.setattr(search_module.GroundSearch, "run", flaky_run)
+        solver = Solver()
+        x = solver.int_var("x")
+        solver.add(b.eq(x, b.const(7)))
+        solver.add(b.forall([b.le(x, b.const(1000))]))
+        model = solver.solve(unfold=False)
+        assert model is not None and model.raw("x") == 7
+        # The naive pass ran first and failed; the retry had suggestions.
+        assert calls[0] is False
+        assert calls[1] is True
+
+    def test_budget_guard_raises_eventually(self):
+        """A pathological alternation cannot loop forever."""
+        from repro.errors import SolverLimitError
+
+        solver = Solver(SearchConfig(node_limit=100_000))
+        x = solver.int_var("x")
+        # Quantifier demanding x = 0 and ground part forbidding it can
+        # never converge positively; it must be reported UNSAT (not hang).
+        solver.add(b.ne(x, b.const(0)))
+        solver.add(b.forall([b.eq(x, b.const(0))]))
+        assert solver.solve(unfold=False) is None

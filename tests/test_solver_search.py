@@ -1,0 +1,277 @@
+"""Solver search tests: SAT/UNSAT, preprocessing, models, both modes."""
+
+import pytest
+
+from repro.errors import SolverError, UnsatisfiableError
+from repro.solver import Solver
+from repro.solver import builders as b
+from repro.solver.search import SearchConfig, eval_formula
+
+
+def check_model(solver, model):
+    """Every asserted formula must be true under the model."""
+    assert model is not None
+    for formula in solver.formulas:
+        from repro.solver.solver import unfold_formula
+
+        assert eval_formula(unfold_formula(formula), model.assignment) is True
+
+
+class TestBasicSat:
+    def test_empty_problem_sat(self):
+        solver = Solver()
+        assert solver.solve() is not None
+
+    def test_single_equality(self):
+        solver = Solver()
+        x = solver.int_var("x")
+        solver.add(b.eq(x, b.const(7)))
+        model = solver.solve()
+        assert model.raw("x") == 7
+
+    def test_chain_of_equalities(self):
+        solver = Solver()
+        names = [f"v{i}" for i in range(10)]
+        for name in names:
+            solver.int_var(name)
+        for first, second in zip(names, names[1:]):
+            solver.add(b.eq(b.var(first), b.var(second)))
+        solver.add(b.eq(b.var("v9"), b.const(42)))
+        model = solver.solve()
+        assert all(model.raw(n) == 42 for n in names)
+
+    def test_offset_arithmetic(self):
+        solver = Solver()
+        x = solver.int_var("x")
+        y = solver.int_var("y")
+        solver.add(b.eq(x, y + b.const(10)))
+        solver.add(b.eq(y, b.const(5)))
+        assert solver.solve().raw("x") == 15
+
+    def test_inequalities(self):
+        solver = Solver()
+        x = solver.int_var("x")
+        solver.add(b.gt(x, b.const(100)))
+        solver.add(b.lt(x, b.const(103)))
+        model = solver.solve()
+        assert model.raw("x") in (101, 102)
+
+    def test_disequality(self):
+        solver = Solver()
+        x = solver.int_var("x")
+        y = solver.int_var("y")
+        solver.add(b.ne(x, y))
+        model = solver.solve()
+        assert model.raw("x") != model.raw("y")
+
+    def test_disjunction(self):
+        solver = Solver()
+        x = solver.int_var("x")
+        solver.add(b.disj([b.eq(x, b.const(5)), b.eq(x, b.const(9))]))
+        solver.add(b.ne(x, b.const(5)))
+        assert solver.solve().raw("x") == 9
+
+    def test_many_distinct_values_possible(self):
+        solver = Solver()
+        names = [f"d{i}" for i in range(6)]
+        for name in names:
+            solver.int_var(name)
+        for i, first in enumerate(names):
+            for second in names[i + 1:]:
+                solver.add(b.ne(b.var(first), b.var(second)))
+        model = solver.solve()
+        values = [model.raw(n) for n in names]
+        assert len(set(values)) == 6
+
+    def test_preferred_value_chosen_when_free(self):
+        solver = Solver()
+        solver.int_var("x", preferred=(42,))
+        assert solver.solve().raw("x") == 42
+
+    def test_model_satisfies_all(self):
+        solver = Solver()
+        x, y, z = (solver.int_var(n) for n in "xyz")
+        solver.add(b.eq(x, y + b.const(3)))
+        solver.add(b.le(z, x))
+        solver.add(b.ne(z, y))
+        check_model(solver, solver.solve())
+
+
+class TestUnsat:
+    def test_contradictory_constants(self):
+        solver = Solver()
+        x = solver.int_var("x")
+        solver.add(b.eq(x, b.const(1)))
+        solver.add(b.eq(x, b.const(2)))
+        assert solver.solve() is None
+
+    def test_eq_and_ne(self):
+        solver = Solver()
+        x, y = solver.int_var("x"), solver.int_var("y")
+        solver.add(b.eq(x, y))
+        solver.add(b.ne(x, y))
+        assert solver.solve() is None
+
+    def test_cycle_with_offset(self):
+        solver = Solver()
+        x, y = solver.int_var("x"), solver.int_var("y")
+        solver.add(b.eq(x, y + b.const(1)))
+        solver.add(b.eq(y, x + b.const(1)))
+        assert solver.solve() is None
+
+    def test_interval_contradiction(self):
+        solver = Solver()
+        x = solver.int_var("x")
+        solver.add(b.lt(x, b.const(5)))
+        solver.add(b.gt(x, b.const(5)))
+        assert solver.solve() is None
+
+    def test_require_model_raises(self):
+        solver = Solver()
+        x = solver.int_var("x")
+        solver.add(b.ne(x, x))
+        with pytest.raises(UnsatisfiableError):
+            solver.require_model()
+
+    def test_fk_vs_not_exists_conflict(self):
+        """Example 2's equivalent-mutation shape: UNSAT is the answer."""
+        solver = Solver()
+        fk = solver.int_var("s.b")
+        ref = solver.int_var("r.a")
+        solver.add(b.exists([b.eq(fk, ref)], "fk"))
+        solver.add(b.not_exists([b.eq(ref, fk)], "nullify"))
+        assert solver.solve() is None
+        assert solver.solve(unfold=False) is None
+
+
+class TestStrings:
+    def test_string_pool_equality(self):
+        solver = Solver()
+        x = solver.str_var("x", "pool", ("CS", "Bio"))
+        y = solver.str_var("y", "pool")
+        solver.add(b.eq(x, y))
+        model = solver.solve()
+        assert model.value("x") == model.value("y")
+
+    def test_string_disequality_uses_pool(self):
+        solver = Solver()
+        x = solver.str_var("x", "pool", ("CS",))
+        solver.add(b.ne(x, b.const(solver.intern("pool", "CS"))))
+        model = solver.solve()
+        assert model.value("x") != "CS"
+
+    def test_fresh_strings_generated_when_needed(self):
+        solver = Solver()
+        names = [f"s{i}" for i in range(4)]
+        for name in names:
+            solver.str_var(name, "dept", ("CS",))
+        for i, first in enumerate(names):
+            for second in names[i + 1:]:
+                solver.add(b.ne(b.var(first), b.var(second)))
+        model = solver.solve()
+        values = {model.value(n) for n in names}
+        assert len(values) == 4
+
+    def test_type_mismatch_merge_raises(self):
+        solver = Solver()
+        x = solver.int_var("x")
+        y = solver.str_var("y", "pool")
+        solver.add(b.eq(x, y))
+        with pytest.raises(SolverError):
+            solver.solve()
+
+
+class TestQuantifiers:
+    def test_forall_all_instances_hold(self):
+        solver = Solver()
+        vs = [solver.int_var(f"v{i}") for i in range(3)]
+        solver.add(b.forall([b.ge(v, b.const(5)) for v in vs]))
+        model = solver.solve()
+        assert all(model.raw(f"v{i}") >= 5 for i in range(3))
+
+    def test_exists_picks_some_instance(self):
+        solver = Solver()
+        x = solver.int_var("x")
+        y = solver.int_var("y")
+        solver.add(b.exists([b.eq(x, y)]))
+        model = solver.solve()
+        assert model.raw("x") == model.raw("y")
+
+    def test_not_exists_blocks_all(self):
+        solver = Solver()
+        target = solver.int_var("t")
+        slots = [solver.int_var(f"r{i}") for i in range(3)]
+        solver.add(b.not_exists([b.eq(s, target) for s in slots]))
+        model = solver.solve()
+        assert all(model.raw(f"r{i}") != model.raw("t") for i in range(3))
+
+    def test_lazy_mode_agrees_on_sat(self):
+        solver = Solver()
+        x = solver.int_var("x")
+        ys = [solver.int_var(f"y{i}") for i in range(3)]
+        solver.add(b.exists([b.eq(x, y) for y in ys]))
+        solver.add(b.forall([b.ge(y, b.const(2)) for y in ys]))
+        unfolded = solver.solve(unfold=True)
+        lazy = solver.solve(unfold=False)
+        assert unfolded is not None and lazy is not None
+        assert solver.last_stats.iterations >= 1
+
+    def test_lazy_mode_agrees_on_unsat(self):
+        solver = Solver()
+        x = solver.int_var("x")
+        solver.add(b.forall([b.lt(x, b.const(0)), b.gt(x, b.const(0))]))
+        assert solver.solve(unfold=True) is None
+        assert solver.solve(unfold=False) is None
+
+    def test_stats_populated(self):
+        solver = Solver()
+        x = solver.int_var("x")
+        solver.add(b.eq(x, b.const(1)))
+        solver.solve()
+        stats = solver.last_stats
+        assert stats.satisfiable
+        assert stats.unfolded
+        assert stats.elapsed >= 0
+
+
+class TestChaseShape:
+    """The PK functional-dependency pattern of genDBConstraints."""
+
+    def _chase_problem(self):
+        solver = Solver()
+        pk0, pk1 = solver.int_var("r0.pk"), solver.int_var("r1.pk")
+        a0, a1 = solver.int_var("r0.a"), solver.int_var("r1.a")
+        solver.add(
+            b.forall(
+                [b.implies(b.eq(pk0, pk1), b.eq(a0, a1))], "pk:r"
+            )
+        )
+        return solver
+
+    def test_chase_allows_collapsed_tuples(self):
+        solver = self._chase_problem()
+        solver.add(b.eq(b.var("r0.pk"), b.var("r1.pk")))
+        model = solver.solve()
+        assert model.raw("r0.a") == model.raw("r1.a")
+
+    def test_chase_allows_distinct_tuples(self):
+        solver = self._chase_problem()
+        solver.add(b.ne(b.var("r0.a"), b.var("r1.a")))
+        model = solver.solve()
+        assert model.raw("r0.pk") != model.raw("r1.pk")
+
+
+class TestLimits:
+    def test_node_limit_enforced(self):
+        from repro.errors import SolverLimitError
+
+        solver = Solver(SearchConfig(node_limit=3, enable_suggestions=False))
+        names = [f"x{i}" for i in range(8)]
+        for name in names:
+            solver.int_var(name)
+        # Force actual search: all distinct over a tight domain.
+        for i, first in enumerate(names):
+            for second in names[i + 1:]:
+                solver.add(b.ne(b.var(first), b.var(second)))
+        with pytest.raises(SolverLimitError):
+            solver.solve()

@@ -1,0 +1,146 @@
+"""Linear terms, atoms, and formula structure."""
+
+import pytest
+
+from repro.solver import builders as b
+from repro.solver.terms import (
+    Atom,
+    Linear,
+    Quantified,
+    VarInfo,
+    formula_variables,
+)
+
+
+class TestLinear:
+    def test_of_var_and_const(self):
+        assert Linear.of_var("x").coeffs == (("x", 1),)
+        assert Linear.of_const(5).const == 5
+
+    def test_addition_merges_coefficients(self):
+        lin = Linear.of_var("x") + Linear.of_var("x")
+        assert lin.coeffs == (("x", 2),)
+
+    def test_subtraction_cancels(self):
+        lin = Linear.of_var("x") - Linear.of_var("x")
+        assert lin.coeffs == ()
+        assert lin.const == 0
+
+    def test_scale(self):
+        lin = (Linear.of_var("x") + Linear.of_const(3)).scale(2)
+        assert lin.coeffs == (("x", 2),)
+        assert lin.const == 6
+
+    def test_scale_by_zero(self):
+        assert Linear.of_var("x").scale(0) == Linear.of_const(0)
+
+    def test_coeffs_sorted_for_structural_equality(self):
+        l1 = Linear.of_var("a") + Linear.of_var("b")
+        l2 = Linear.of_var("b") + Linear.of_var("a")
+        assert l1 == l2
+
+    def test_evaluate_full(self):
+        lin = Linear.of_var("x") - Linear.of_var("y") + Linear.of_const(1)
+        assert lin.evaluate({"x": 5, "y": 2}) == 4
+
+    def test_evaluate_partial_is_none(self):
+        assert Linear.of_var("x").evaluate({}) is None
+
+
+class TestAtom:
+    def test_invalid_op_rejected(self):
+        with pytest.raises(ValueError):
+            Atom(">", Linear.of_var("x"))
+
+    def test_negation_involution(self):
+        for op in ("=", "<>", "<", "<="):
+            atom = Atom(op, Linear.of_var("x") + Linear.of_const(-3))
+            assert atom.negate().negate().evaluate({"x": 3}) == atom.evaluate(
+                {"x": 3}
+            )
+
+    @pytest.mark.parametrize("x,expected", [(2, False), (3, True), (4, True)])
+    def test_negate_lt_is_ge(self, x, expected):
+        # x < 3  negated is x >= 3
+        atom = b.lt(b.var("x"), b.const(3)).negate()
+        assert atom.evaluate({"x": x}) is expected
+
+    def test_evaluate_partial_is_none(self):
+        assert b.eq(b.var("x"), b.var("y")).evaluate({"x": 1}) is None
+
+
+class TestBuilders:
+    def test_compare_dispatch(self):
+        assert b.compare(">", b.var("x"), b.const(3)).evaluate({"x": 4}) is True
+        assert b.compare(">=", b.var("x"), b.const(3)).evaluate({"x": 3}) is True
+        assert b.compare("<=", b.var("x"), b.const(3)).evaluate({"x": 4}) is False
+
+    def test_conj_simplifies_constants(self):
+        from repro.solver.terms import FALSE, TRUE
+
+        assert b.conj([]) is TRUE
+        assert b.conj([TRUE, TRUE]) is TRUE
+        assert b.conj([TRUE, FALSE]) is FALSE
+
+    def test_conj_flattens(self):
+        inner = b.conj([b.eq(b.var("x"), b.const(1)), b.eq(b.var("y"), b.const(2))])
+        outer = b.conj([inner, b.eq(b.var("z"), b.const(3))])
+        assert len(outer.parts) == 3
+
+    def test_disj_simplifies(self):
+        from repro.solver.terms import FALSE, TRUE
+
+        assert b.disj([]) is FALSE
+        assert b.disj([FALSE, TRUE]) is TRUE
+
+    def test_single_element_unwrapped(self):
+        atom = b.eq(b.var("x"), b.const(1))
+        assert b.conj([atom]) is atom
+        assert b.disj([atom]) is atom
+
+    def test_neg_pushed_into_atom(self):
+        negated = b.neg(b.eq(b.var("x"), b.const(1)))
+        assert isinstance(negated, Atom)
+        assert negated.op == "<>"
+
+    def test_not_exists_builds_forall_of_negations(self):
+        formula = b.not_exists(
+            [b.eq(b.var("x"), b.const(1)), b.eq(b.var("y"), b.const(1))]
+        )
+        assert isinstance(formula, Quantified)
+        assert formula.kind == "forall"
+        assert all(inst.op == "<>" for inst in formula.instances)
+
+    def test_empty_quantifiers(self):
+        from repro.solver.terms import FALSE, TRUE
+
+        assert b.forall([]) is TRUE
+        assert b.exists([]) is FALSE
+        assert b.not_exists([]) is TRUE
+
+    def test_implies(self):
+        formula = b.implies(
+            b.eq(b.var("x"), b.const(1)), b.eq(b.var("y"), b.const(2))
+        )
+        from repro.solver.search import eval_formula
+
+        assert eval_formula(formula, {"x": 0, "y": 0}) is True
+        assert eval_formula(formula, {"x": 1, "y": 2}) is True
+        assert eval_formula(formula, {"x": 1, "y": 0}) is False
+
+
+class TestVarInfo:
+    def test_string_var_requires_pool(self):
+        with pytest.raises(ValueError):
+            VarInfo("x", "str")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            VarInfo("x", "float")
+
+
+def test_formula_variables_collects_through_quantifiers():
+    formula = b.forall(
+        [b.eq(b.var("a"), b.var("b")), b.disj([b.ne(b.var("c"), b.const(1))])]
+    )
+    assert formula_variables(formula) == {"a", "b", "c"}

@@ -1,0 +1,113 @@
+"""Stress and robustness tests: larger queries, wide predicates.
+
+These guard against search-space regressions (the CBJ/backjumping and
+suggestion machinery must keep generation fast as queries grow).
+"""
+
+import time
+
+import pytest
+
+from repro.core import XDataGenerator
+from repro.datasets import schema_with_fks
+from repro.engine.integrity import find_violations
+from repro.mutation import enumerate_mutants
+from repro.schema.catalog import Column, ForeignKey, Schema, Table
+from repro.schema.types import SqlType
+from repro.testing import evaluate_suite
+
+
+def chain_schema(length: int, with_fks: bool) -> Schema:
+    """r0 <- r1 <- ... <- r{n-1}: each r{i+1}.prev references r{i}.id."""
+    tables = []
+    for i in range(length):
+        fks = []
+        if with_fks and i > 0:
+            fks.append(ForeignKey(f"r{i}", ("prev",), f"r{i-1}", ("id",)))
+        tables.append(
+            Table(
+                f"r{i}",
+                [
+                    Column("id", SqlType.INT),
+                    Column("prev", SqlType.INT),
+                    Column("payload", SqlType.INT),
+                ],
+                primary_key=("id",),
+                foreign_keys=fks,
+            )
+        )
+    return Schema(tables)
+
+
+def chain_query(length: int) -> str:
+    froms = ", ".join(f"r{i}" for i in range(length))
+    conds = " AND ".join(
+        f"r{i + 1}.prev = r{i}.id" for i in range(length - 1)
+    )
+    return f"SELECT * FROM {froms} WHERE {conds}"
+
+
+@pytest.mark.parametrize("length", [6, 8])
+@pytest.mark.parametrize("with_fks", [False, True])
+def test_long_chain_generation_fast_and_legal(length, with_fks):
+    schema = chain_schema(length, with_fks)
+    start = time.perf_counter()
+    suite = XDataGenerator(schema).generate(chain_query(length))
+    elapsed = time.perf_counter() - start
+    assert elapsed < 5.0, f"generation took {elapsed:.1f}s"
+    for dataset in suite.datasets:
+        assert find_violations(dataset.db) == []
+
+
+def test_star_join_generation():
+    """A fact table referencing five dimensions."""
+    dims = [
+        Table(
+            f"d{i}",
+            [Column("id", SqlType.INT), Column("x", SqlType.INT)],
+            primary_key=("id",),
+        )
+        for i in range(5)
+    ]
+    fact = Table(
+        "fact",
+        [Column(f"k{i}", SqlType.INT) for i in range(5)]
+        + [Column("measure", SqlType.INT)],
+        foreign_keys=[
+            ForeignKey("fact", (f"k{i}",), f"d{i}", ("id",)) for i in range(5)
+        ],
+    )
+    schema = Schema(dims + [fact])
+    conds = " AND ".join(f"fact.k{i} = d{i}.id" for i in range(5))
+    froms = "fact, " + ", ".join(f"d{i}" for i in range(5))
+    suite = XDataGenerator(schema).generate(f"SELECT * FROM {froms} WHERE {conds}")
+    # Every dimension nullification is blocked by the FK; each fact-side
+    # nullification survives.
+    assert suite.non_original_count() == 5
+    assert len(suite.skipped) == 5
+    for dataset in suite.datasets:
+        assert find_violations(dataset.db) == []
+
+
+def test_many_selections():
+    schema = chain_schema(1, False)
+    conds = " AND ".join(f"r0.payload <> {i}" for i in range(10))
+    sql = f"SELECT * FROM r0 WHERE r0.id > 0 AND {conds}"
+    suite = XDataGenerator(schema).generate(sql)
+    # 3 comparison datasets for id>0, one per <> conjunct pair (2 each).
+    assert suite.non_original_count() >= 20
+    for dataset in suite.datasets:
+        assert find_violations(dataset.db) == []
+
+
+def test_wide_mutant_space_evaluation():
+    """Kill-checking a thousand-mutant space stays tractable."""
+    schema = chain_schema(7, False)
+    suite = XDataGenerator(schema).generate(chain_query(7))
+    space = enumerate_mutants(suite.analyzed)
+    assert len(space) > 500
+    start = time.perf_counter()
+    report = evaluate_suite(space, suite.databases, stop_at_first_kill=True)
+    elapsed = time.perf_counter() - start
+    assert elapsed < 30.0
+    assert report.killed > 0

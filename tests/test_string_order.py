@@ -1,0 +1,114 @@
+"""Rank-preserving string interning and string order comparisons."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import XDataGenerator
+from repro.datasets import schema_with_fks
+from repro.mutation import enumerate_mutants
+from repro.solver.model import SymbolTable
+from repro.testing import classify_survivors, evaluate_suite
+
+
+class TestSymbolTableOrdering:
+    def test_codes_follow_lexicographic_order(self):
+        table = SymbolTable()
+        values = ["M", "Apple", "zebra", "CS", "Biology", "apple"]
+        codes = {v: table.intern("p", v) for v in values}
+        ordered = sorted(values)
+        ordered_codes = [codes[v] for v in ordered]
+        assert ordered_codes == sorted(ordered_codes)
+
+    def test_insertion_between_existing(self):
+        table = SymbolTable()
+        a = table.intern("p", "a")
+        c = table.intern("p", "c")
+        b = table.intern("p", "b")
+        assert a < b < c
+
+    def test_fresh_values_keep_order(self):
+        table = SymbolTable()
+        m = table.intern("p", "M")
+        fresh = table.fresh("p")
+        assert (table.decode(fresh) < "M") == (fresh < m)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.text(
+                alphabet=st.characters(min_codepoint=48, max_codepoint=122),
+                min_size=1,
+                max_size=8,
+            ),
+            min_size=2,
+            max_size=20,
+            unique=True,
+        )
+    )
+    def test_order_isomorphism_property(self, values):
+        """For any interning order, code order == string order."""
+        table = SymbolTable()
+        shuffled = list(values)
+        random.Random(0).shuffle(shuffled)
+        codes = {v: table.intern("p", v) for v in shuffled}
+        for first in values:
+            for second in values:
+                assert (first < second) == (codes[first] < codes[second])
+
+    def test_pools_stay_disjoint(self):
+        table = SymbolTable()
+        a = table.intern("p1", "same")
+        b = table.intern("p2", "same")
+        assert a != b
+        assert table.decode(a) == table.decode(b) == "same"
+
+
+class TestStringOrderQueries:
+    @pytest.mark.parametrize(
+        "op", ["<", ">", "<=", ">=", "=", "<>"]
+    )
+    def test_all_operator_mutants_killed(self, op, uni_schema_nofk):
+        sql = f"SELECT i.name FROM instructor i WHERE i.name {op} 'M'"
+        suite = XDataGenerator(uni_schema_nofk).generate(sql)
+        space = enumerate_mutants(suite.analyzed)
+        report = evaluate_suite(space, suite.databases)
+        classification = classify_survivors(space, report.survivors, trials=10)
+        assert classification.missed == []
+        assert report.killed == report.total == 5
+
+    def test_forced_values_respect_lexicographic_order(self, uni_schema_nofk):
+        sql = "SELECT i.name FROM instructor i WHERE i.name > 'M'"
+        suite = XDataGenerator(uni_schema_nofk).generate(sql)
+        for dataset in suite.datasets:
+            if dataset.group != "comparison":
+                continue
+            name = dataset.db.relation("instructor").rows[0][1]
+            if "force =" in dataset.target:
+                assert name == "M"
+            elif "force <" in dataset.target:
+                assert name < "M"
+            else:
+                assert name > "M"
+
+    def test_string_order_join_condition(self, uni_schema_nofk):
+        """Non-equi join on strings: s.name < i.name."""
+        sql = (
+            "SELECT s.name, i.name FROM student s, instructor i "
+            "WHERE s.name < i.name"
+        )
+        suite = XDataGenerator(uni_schema_nofk).generate(sql)
+        space = enumerate_mutants(suite.analyzed)
+        report = evaluate_suite(space, suite.databases)
+        classification = classify_survivors(space, report.survivors, trials=10)
+        assert classification.missed == []
+
+    def test_grade_threshold_scenario(self, uni_schema_nofk):
+        """The practical case: filtering by letter grade."""
+        sql = "SELECT k.id FROM takes k WHERE k.grade <= 'B'"
+        suite = XDataGenerator(uni_schema_nofk).generate(sql)
+        space = enumerate_mutants(suite.analyzed)
+        report = evaluate_suite(space, suite.databases)
+        assert report.killed == report.total == 5

@@ -1,0 +1,213 @@
+"""ProblemSpace: slot allocation, variable typing, predicate translation."""
+
+import pytest
+
+from repro.core.analyze import analyze_query
+from repro.core.dbconstraints import (
+    add_fk_support_slots,
+    db_constraints,
+    foreign_key_constraints,
+    primary_key_constraints,
+)
+from repro.core.tuplespace import ProblemSpace, slot_var_name
+from repro.datasets import schema_with_fks
+from repro.errors import UnsupportedSqlError
+from repro.solver import Solver
+from repro.solver.terms import Quantified
+from repro.sql.ast import ColumnRef, Comparison, Literal
+from repro.sql.parser import parse_query
+
+
+def make_space(sql, schema, copies=1):
+    aq = analyze_query(parse_query(sql), schema)
+    return ProblemSpace(aq, Solver(), copies=copies)
+
+
+TWO = "SELECT * FROM instructor i, teaches t WHERE i.id = t.id"
+
+
+class TestSlots:
+    def test_one_slot_per_occurrence(self, uni_schema_nofk):
+        space = make_space(TWO, uni_schema_nofk)
+        assert space.sizes == {"instructor": 1, "teaches": 1}
+        assert space.slot_of("i") == 0
+
+    def test_repeated_occurrences_share_array(self, uni_schema_nofk):
+        sql = "SELECT * FROM course c1, course c2 WHERE c1.course_id = c2.course_id"
+        space = make_space(sql, uni_schema_nofk)
+        assert space.sizes == {"course": 2}
+        assert space.slot_of("c1") == 0
+        assert space.slot_of("c2") == 1
+
+    def test_copies_allocate_per_occurrence(self, uni_schema_nofk):
+        space = make_space(TWO, uni_schema_nofk, copies=3)
+        assert space.sizes == {"instructor": 3, "teaches": 3}
+        assert space.slot_of("i", 2) == 2
+
+    def test_support_slot_appends(self, uni_schema_nofk):
+        space = make_space(TWO, uni_schema_nofk)
+        index = space.add_support_slot("instructor")
+        assert index == 1
+        assert list(space.table_slots("instructor")) == [0, 1]
+
+    def test_fk_support_chain(self):
+        """teaches.course_id -> course.course_id: one spare course slot."""
+        schema = schema_with_fks(["teaches.course_id", "course.dept_name"])
+        sql = (
+            "SELECT * FROM teaches t, course c, department d "
+            "WHERE t.course_id = c.course_id AND c.dept_name = d.dept_name"
+        )
+        space = make_space(sql, schema)
+        add_fk_support_slots(space, "teaches", "course_id")
+        # course gets a spare slot for the dangling course_id; the spare
+        # slot's dept_name can reference the existing department tuple, so
+        # the chain does NOT grow department.
+        assert space.sizes["course"] == 2
+        assert space.sizes["department"] == 1
+
+    def test_fk_chain_cycle_terminates(self):
+        from repro.schema.catalog import Column, ForeignKey, Schema, Table
+        from repro.schema.types import SqlType
+
+        schema = Schema(
+            [
+                Table(
+                    "emp",
+                    [Column("id", SqlType.INT), Column("mgr", SqlType.INT)],
+                    primary_key=("id",),
+                    foreign_keys=[ForeignKey("emp", ("mgr",), "emp", ("id",))],
+                )
+            ]
+        )
+        sql = "SELECT * FROM emp e1, emp e2 WHERE e1.mgr = e2.id"
+        space = make_space(sql, schema)
+        add_fk_support_slots(space, "emp", "mgr")
+        assert space.sizes["emp"] >= 2  # terminated
+
+
+class TestVariables:
+    def test_int_var_declared(self, uni_schema_nofk):
+        space = make_space(TWO, uni_schema_nofk)
+        space.var("instructor", 0, "salary")
+        assert space.solver.has_var("instructor[0].salary")
+        assert space.solver.info("instructor[0].salary").kind == "int"
+
+    def test_str_var_pool_and_preferences(self, uni_schema_nofk):
+        space = make_space(TWO, uni_schema_nofk)
+        space.var("instructor", 0, "dept_name")
+        info = space.solver.info("instructor[0].dept_name")
+        assert info.kind == "str"
+        assert info.preferred  # from the schema domain
+
+    def test_rotation_staggers_preferences(self, uni_schema_nofk):
+        space = make_space(TWO, uni_schema_nofk)
+        space.add_support_slot("instructor")
+        space.var("instructor", 0, "dept_name")
+        space.var("instructor", 1, "dept_name")
+        first = space.solver.info("instructor[0].dept_name").preferred
+        second = space.solver.info("instructor[1].dept_name").preferred
+        assert first != second
+        assert set(first) == set(second)
+
+    def test_finalize_declares_everything(self, uni_schema_nofk):
+        space = make_space(TWO, uni_schema_nofk)
+        space.finalize_declarations()
+        for column in uni_schema_nofk.table("teaches").column_names:
+            assert space.solver.has_var(slot_var_name("teaches", 0, column))
+
+
+class TestTranslation:
+    def test_equijoin_formula(self, uni_schema_nofk):
+        space = make_space(TWO, uni_schema_nofk)
+        pred = Comparison("=", ColumnRef("i", "id"), ColumnRef("t", "id"))
+        formula = space.pred_formula(pred)
+        assert set(formula.variables) == {
+            "instructor[0].id", "teaches[0].id"
+        }
+
+    def test_arithmetic_translation(self, uni_schema_nofk):
+        space = make_space(TWO, uni_schema_nofk)
+        pred = Comparison(
+            "=",
+            ColumnRef("i", "salary"),
+            Literal(3),
+        )
+        formula = space.pred_formula(pred, op=">")
+        assert formula.evaluate({"instructor[0].salary": 4}) is True
+        assert formula.evaluate({"instructor[0].salary": 3}) is False
+
+    def test_string_literal_interned(self, uni_schema_nofk):
+        space = make_space(TWO, uni_schema_nofk)
+        pred = Comparison("=", ColumnRef("i", "dept_name"), Literal("CS"))
+        formula = space.pred_formula(pred)
+        code = space.solver.intern(
+            space.aq.pools.pool_of("instructor", "dept_name"), "CS"
+        )
+        assert formula.evaluate({"instructor[0].dept_name": code}) is True
+
+    def test_order_on_strings_translates(self, uni_schema_nofk):
+        space = make_space(TWO, uni_schema_nofk)
+        pred = Comparison("=", ColumnRef("i", "dept_name"), Literal("CS"))
+        formula = space.pred_formula(pred, op="<")
+        pool = space.aq.pools.pool_of("instructor", "dept_name")
+        cs = space.solver.intern(pool, "CS")
+        biology = space.solver.intern(pool, "Biology")
+        assert formula.evaluate({"instructor[0].dept_name": biology}) is True
+        assert formula.evaluate({"instructor[0].dept_name": cs}) is False
+
+    def test_overrides_sweep_slot(self, uni_schema_nofk):
+        space = make_space(TWO, uni_schema_nofk)
+        space.add_support_slot("instructor")
+        pred = Comparison("=", ColumnRef("i", "id"), ColumnRef("t", "id"))
+        formula = space.pred_formula(pred, overrides={"i": 1})
+        assert "instructor[1].id" in formula.variables
+
+    def test_not_exists_covers_whole_array(self, uni_schema_nofk):
+        space = make_space(TWO, uni_schema_nofk)
+        space.add_support_slot("instructor")
+        value = space.attr_var(
+            __import__("repro.core.attrs", fromlist=["Attr"]).Attr("t", "id")
+        )
+        formula = space.not_exists_value("instructor", "id", value)
+        assert isinstance(formula, Quantified)
+        assert len(formula.instances) == 2
+
+    def test_products_of_attributes_rejected(self, uni_schema_nofk):
+        from repro.sql.ast import BinaryOp
+
+        space = make_space(TWO, uni_schema_nofk)
+        pred = Comparison(
+            "=",
+            ColumnRef("i", "salary"),
+            BinaryOp("*", ColumnRef("i", "id"), ColumnRef("t", "id")),
+        )
+        with pytest.raises(UnsupportedSqlError):
+            space.pred_formula(pred)
+
+
+class TestDbConstraints:
+    def test_no_pk_constraints_for_single_slots(self, uni_schema_nofk):
+        space = make_space(TWO, uni_schema_nofk)
+        assert primary_key_constraints(space) == []
+
+    def test_pk_chase_for_multi_slot_tables(self, uni_schema_nofk):
+        space = make_space(TWO, uni_schema_nofk)
+        space.add_support_slot("instructor")
+        constraints = primary_key_constraints(space)
+        assert len(constraints) == 1
+        assert constraints[0].label == "pk:instructor"
+
+    def test_fk_constraints_only_for_in_query_targets(self):
+        schema = schema_with_fks(["teaches.id", "instructor.dept_name"])
+        space = make_space(TWO, schema)
+        constraints = foreign_key_constraints(space)
+        labels = [c.label for c in constraints]
+        # teaches->instructor is in-query; instructor->department is not.
+        assert any("teaches" in label for label in labels)
+        assert not any("department" in label for label in labels)
+
+    def test_db_constraints_combines(self, uni_schema_nofk):
+        space = make_space(TWO, uni_schema_nofk)
+        assert db_constraints(space) == (
+            primary_key_constraints(space) + foreign_key_constraints(space)
+        )

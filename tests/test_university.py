@@ -1,0 +1,84 @@
+"""Bundled university schema and sample data."""
+
+import pytest
+
+from repro.datasets import (
+    FK_EDGES,
+    UNIVERSITY_QUERIES,
+    schema_with_fks,
+    university_queries,
+    university_sample_database,
+    university_schema,
+)
+from repro.sql.parser import parse_query
+from repro.core.analyze import analyze_query
+from repro.engine.executor import execute_query
+
+
+def test_schema_builds_and_validates():
+    schema = university_schema()
+    assert "instructor" in schema.table_names
+    declared = {
+        (fk.table, fk.columns[0], fk.ref_table, fk.ref_columns[0])
+        for fk in schema.foreign_keys()
+    }
+    # Every experiment edge is declared (prereq's FKs exist beyond them).
+    assert set(FK_EDGES.values()) <= declared
+
+
+def test_sample_database_is_legal():
+    university_sample_database().validate()
+
+
+def test_fk_edges_all_resolve():
+    schema = schema_with_fks(list(FK_EDGES))
+    declared = {
+        (fk.table, fk.columns[0], fk.ref_table, fk.ref_columns[0])
+        for fk in schema.foreign_keys()
+    }
+    assert declared == set(FK_EDGES.values())
+
+
+def test_schema_with_fks_subset():
+    schema = schema_with_fks(["teaches.id"])
+    fks = schema.foreign_keys()
+    assert len(fks) == 1
+    assert fks[0].table == "teaches"
+
+
+def test_every_benchmark_query_parses_and_analyzes():
+    schema = university_schema()
+    for name, info in UNIVERSITY_QUERIES.items():
+        aq = analyze_query(parse_query(info["sql"]), schema)
+        assert set(occ.table for occ in aq.occurrences.values()) == set(
+            info["relations"]
+        ), name
+
+
+def test_benchmark_queries_run_on_sample_data():
+    db = university_sample_database()
+    for name, info in UNIVERSITY_QUERIES.items():
+        execute_query(parse_query(info["sql"]), db)  # no exception
+
+
+def test_join_counts_match_metadata():
+    schema = university_schema()
+    for name, info in UNIVERSITY_QUERIES.items():
+        aq = analyze_query(parse_query(info["sql"]), schema)
+        conjunct_count = sum(len(ec) - 1 for ec in aq.eq_classes) + len(
+            aq.other_joins
+        )
+        assert conjunct_count == info["joins"], name
+
+
+def test_university_queries_returns_copy():
+    first = university_queries()
+    first["Q1"]["sql"] = "tampered"
+    assert UNIVERSITY_QUERIES["Q1"]["sql"] != "tampered"
+
+
+def test_fk_rows_are_valid_edge_names():
+    for info in UNIVERSITY_QUERIES.values():
+        for fks in info["fk_rows"]:
+            for name in fks:
+                assert name in FK_EDGES

@@ -1,0 +1,73 @@
+"""Workload-level generation and cross-query minimization."""
+
+import pytest
+
+from repro.datasets import schema_with_fks
+from repro.testing import evaluate_suite
+from repro.testing.workload import generate_workload
+
+QUERIES = {
+    "teaching": (
+        "SELECT i.name, c.title FROM instructor i, teaches t, course c "
+        "WHERE i.id = t.id AND t.course_id = c.course_id"
+    ),
+    "load": (
+        "SELECT i.dept_name, COUNT(t.course_id) FROM instructor i, teaches t "
+        "WHERE i.id = t.id GROUP BY i.dept_name"
+    ),
+    "credits": "SELECT c.title FROM course c WHERE c.credits > 3",
+}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    schema = schema_with_fks(["teaches.id"])
+    return generate_workload(schema, QUERIES)
+
+
+def test_workload_covers_every_query(workload):
+    assert len(workload.entries) == 3
+    for entry in workload.entries:
+        assert entry.total > 0
+
+
+def test_combined_smaller_than_concatenation(workload):
+    generated = sum(len(e.suite.datasets) for e in workload.entries)
+    assert len(workload.datasets) < generated
+
+
+def test_no_kill_lost_by_combination(workload):
+    """Each query kills at least as much on the combined datasets as on
+    its own suite."""
+    for entry in workload.entries:
+        own = evaluate_suite(entry.space, entry.suite.databases)
+        combined = evaluate_suite(entry.space, workload.databases)
+        assert combined.killed >= own.killed
+        assert entry.killed == combined.killed
+
+
+def test_original_datasets_kept(workload):
+    groups = [d.group for d in workload.datasets]
+    assert groups.count("original") == 3
+
+
+def test_provenance_parallel_to_datasets(workload):
+    assert len(workload.provenance) == len(workload.datasets)
+    for (entry_index, dataset_index), dataset in zip(
+        workload.provenance, workload.datasets
+    ):
+        entry = workload.entries[entry_index]
+        assert entry.suite.datasets[dataset_index] is dataset
+
+
+def test_summary_renders(workload):
+    text = workload.summary()
+    assert "workload: 3 queries" in text
+    assert "teaching" in text
+
+
+def test_no_minimize_keeps_everything():
+    schema = schema_with_fks([])
+    small = {"q": "SELECT * FROM course c WHERE c.credits > 3"}
+    suite = generate_workload(schema, small, minimize=False)
+    assert len(suite.datasets) == len(suite.entries[0].suite.datasets)
