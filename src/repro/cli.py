@@ -78,6 +78,15 @@ def _build_parser() -> argparse.ArgumentParser:
             help="disable quantifier unfolding (the paper's slow mode)",
         )
         cmd.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for dataset generation (datasets are "
+            "independent constraint problems; results are identical to "
+            "a sequential run)",
+        )
+        cmd.add_argument(
             "--input-db",
             action="store_true",
             help="with --university: constrain values to the sample database",
@@ -205,6 +214,7 @@ def main(argv: list[str] | None = None) -> int:
             unfold=not args.no_unfold,
             input_db=input_db,
             trace_constraints=getattr(args, "show_constraints", False),
+            workers=max(1, args.workers),
         )
         if args.command == "mutants":
             space = enumerate_mutants(

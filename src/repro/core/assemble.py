@@ -32,16 +32,28 @@ def assemble_dataset(space: ProblemSpace, model: Model) -> Database:
     """Decode ``model`` into a validated :class:`Database`."""
     schema = space.aq.schema
     db = Database(schema)
+    forced = space.forced_nulls
+    assignment = model.assignment
+    infos = model.infos
+    decode = model.symbols.decode
     for table, size in space.sizes.items():
         columns = schema.table(table).column_names
         seen: set[tuple] = set()
         for index in range(size):
-            row = tuple(
-                None
-                if (table, index, col) in space.forced_nulls
-                else model.value(slot_var_name(table, index, col))
-                for col in columns
-            )
+            values = []
+            for col in columns:
+                if forced and (table, index, col) in forced:
+                    values.append(None)
+                    continue
+                name = slot_var_name(table, index, col)
+                code = assignment[name]
+                info = infos.get(name)
+                values.append(
+                    decode(code)
+                    if info is not None and info.kind == "str"
+                    else code
+                )
+            row = tuple(values)
             if row not in seen:
                 seen.add(row)
                 db.insert(table, row)

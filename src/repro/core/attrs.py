@@ -54,6 +54,22 @@ class PoolAssigner:
     def __init__(self, schema: Schema):
         self._schema = schema
         self._parent: dict[tuple[str, str], tuple[str, str]] = {}
+        # Memoized per-column answers; every dataset spec re-declares the
+        # same variables, so these are asked thousands of times per query.
+        # Invalidated on link() — the analyzer adds links before any
+        # ProblemSpace consults the pools.
+        self._pref_cache: dict[tuple[str, str], tuple[str, ...]] = {}
+        #: Prepared slot-variable declarations (kind, pool, preferred),
+        #: keyed by variable name — every base declaration build of a
+        #: query redoes the same domain munging (see ProblemSpace.var).
+        self._decl_cache: dict[str, tuple] = {}
+        #: Declared VarInfo per variable name.  Valid across the sibling
+        #: declaration builds of one query: they intern the same values
+        #: in the same order (warm-table replay), so the preferred codes
+        #: are identical by construction.
+        self._info_cache: dict[str, object] = {}
+        #: Hot-path ablation hook (see GenConfig.hot_path_caching).
+        self.cache_enabled = True
         for fk in schema.foreign_keys():
             for col, ref_col in fk.column_pairs():
                 self.link((fk.table, col), (fk.ref_table, ref_col))
@@ -73,6 +89,9 @@ class PoolAssigner:
             if rb < ra:
                 ra, rb = rb, ra
             self._parent[rb] = ra
+            self._pref_cache.clear()
+            self._decl_cache.clear()
+            self._info_cache.clear()
 
     def pool_of(self, table: str, column: str) -> str:
         """The pool identifier for a VARCHAR column."""
@@ -81,7 +100,11 @@ class PoolAssigner:
 
     def preferred_values(self, table: str, column: str) -> tuple[str, ...]:
         """Union of enumerated domains across the column's pool members."""
-        root = self._find((table.lower(), column.lower()))
+        cache_key = (table.lower(), column.lower())
+        cached = self._pref_cache.get(cache_key) if self.cache_enabled else None
+        if cached is not None:
+            return cached
+        root = self._find(cache_key)
         values: list[str] = []
         seen: set[str] = set()
         for key in list(self._parent) + [(table.lower(), column.lower())]:
@@ -97,7 +120,9 @@ class PoolAssigner:
                 if value not in seen:
                     seen.add(value)
                     values.append(value)
-        return tuple(values)
+        result = tuple(values)
+        self._pref_cache[cache_key] = result
+        return result
 
 
 def column_type(schema: Schema, table: str, column: str) -> SqlType:

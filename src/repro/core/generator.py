@@ -69,6 +69,17 @@ class GenConfig:
     input_mode: str = "domain"
     solver: SearchConfig = field(default_factory=SearchConfig)
     trace_constraints: bool = False
+    #: Worker processes for dataset generation.  Every spec is an
+    #: independent constraint problem; with ``workers > 1`` they are
+    #: fanned out across a process pool (see :mod:`repro.core.parallel`)
+    #: and merged back in spec order, so the resulting suite is identical
+    #: to a sequential run.
+    workers: int = 1
+    #: Hot-path ablation switch: reuse of the database-constraint formula
+    #: list across attempts/specs with the same tuple-space signature.
+    #: Off reproduces the seed's rebuild-every-attempt behaviour
+    #: (benchmarks only; generated datasets are identical either way).
+    hot_path_caching: bool = True
     #: Extension: anti-coincidence datasets that kill wrong-attribute
     #: join-condition mutants (repro.mutation.joincond); off by default
     #: to preserve the paper's dataset counts.
@@ -100,6 +111,20 @@ class GeneratedDataset:
         return f"{header}\n{self.db.pretty()}"
 
 
+#: Stage keys reported in :attr:`TestSuite.stage_times`.
+STAGES = ("analyze", "build", "preprocess", "search", "assemble")
+
+
+@dataclass
+class SpecResult:
+    """Outcome of solving one :class:`DatasetSpec` (picklable)."""
+
+    dataset: GeneratedDataset | None
+    skipped: SkippedTarget | None
+    solve_time: float
+    stage_times: dict[str, float] = field(default_factory=dict)
+
+
 @dataclass
 class TestSuite:
     """The full result of Algorithm 1 for one query."""
@@ -113,6 +138,12 @@ class TestSuite:
     #: A1-A8 audit findings (see repro.core.assumptions); non-empty means
     #: the completeness guarantee may not cover this query.
     warnings: list = field(default_factory=list)
+    #: Wall-clock per pipeline stage, keyed by :data:`STAGES`:
+    #: analyze (parse + analysis + spec derivation), build (constraint
+    #: construction), preprocess / search (solver-internal split), and
+    #: assemble (model -> Database).  Stages running in worker processes
+    #: report their in-worker time.
+    stage_times: dict[str, float] = field(default_factory=dict)
 
     @property
     def databases(self) -> list[Database]:
@@ -189,6 +220,22 @@ def _original_spec(aq: AnalyzedQuery) -> DatasetSpec:
     )
 
 
+#: Parsed-AST cache keyed by query text (hot-path mode only).  The AST is
+#: immutable — every node in :mod:`repro.sql.ast` is a frozen dataclass and
+#: neither analysis nor decorrelation mutates one — so a single parse can
+#: serve every generator and schema variant that sees the same SQL text.
+_PARSE_CACHE: dict[str, Query] = {}
+
+
+def _parse_cached(query: str) -> Query:
+    parsed = _PARSE_CACHE.get(query)
+    if parsed is None:
+        if len(_PARSE_CACHE) >= 256:
+            _PARSE_CACHE.clear()
+        parsed = _PARSE_CACHE[query] = parse_query(query)
+    return parsed
+
+
 class XDataGenerator:
     """Generates complete mutant-killing test suites for SQL queries."""
 
@@ -205,12 +252,69 @@ class XDataGenerator:
         into joins first (Section V-H) when that is multiplicity-safe.
         """
         start = time.perf_counter()
-        parsed = parse_query(query) if isinstance(query, str) else query
+        if isinstance(query, str):
+            if self.config.hot_path_caching:
+                parsed = _parse_cached(query)
+            else:
+                parsed = parse_query(query)
+        else:
+            parsed = query
         if parsed.has_subquery_predicates:
             from repro.core.decorrelate import decorrelate
 
             parsed = decorrelate(parsed, self.schema)
         aq = analyze_query(parsed, self.schema)
+        specs, skipped = self._derive_specs(aq)
+        analyze_time = time.perf_counter() - start
+        sql = query if isinstance(query, str) else str(parsed)
+
+        results: list[SpecResult]
+        use_pool = False
+        if self.config.workers > 1 and len(specs) > 1:
+            from repro.core.parallel import effective_workers
+
+            use_pool = effective_workers(self.config.workers, len(specs)) > 1
+        if use_pool:
+            from repro.core.parallel import solve_specs_parallel
+
+            results = solve_specs_parallel(
+                self.schema, sql, self.config, len(specs)
+            )
+        else:
+            caches: dict = {}
+            results = [self._run_spec(aq, spec, caches) for spec in specs]
+
+        datasets: list[GeneratedDataset] = []
+        solve_time = 0.0
+        stage_times = {name: 0.0 for name in STAGES}
+        stage_times["analyze"] = analyze_time
+        for result in results:
+            solve_time += result.solve_time
+            for name, spent in result.stage_times.items():
+                stage_times[name] = stage_times.get(name, 0.0) + spent
+            if result.dataset is not None:
+                datasets.append(result.dataset)
+            elif result.skipped is not None:
+                skipped.append(result.skipped)
+        elapsed = time.perf_counter() - start
+        from repro.core.assumptions import check_assumptions
+
+        return TestSuite(
+            sql, aq, datasets, skipped, elapsed, solve_time,
+            warnings=check_assumptions(aq),
+            stage_times=stage_times,
+        )
+
+    def _derive_specs(
+        self, aq: AnalyzedQuery
+    ) -> tuple[list[DatasetSpec], list[SkippedTarget]]:
+        """Enumerate every dataset spec for ``aq``, in canonical order.
+
+        The order is deterministic for a given (query, schema, config):
+        worker processes rely on this to re-derive a spec from its index
+        alone (specs hold closures, which do not pickle).
+        """
+        aq.pools.cache_enabled = self.config.hot_path_caching
         specs: list[DatasetSpec] = [_original_spec(aq)]
         skipped: list[SkippedTarget] = []
 
@@ -259,23 +363,7 @@ class XDataGenerator:
             specs.extend(null_specs)
             skipped.extend(null_skipped)
 
-        datasets: list[GeneratedDataset] = []
-        solve_time = 0.0
-        for spec in specs:
-            dataset, spec_skip, spent = self._run_spec(aq, spec)
-            solve_time += spent
-            if dataset is not None:
-                datasets.append(dataset)
-            elif spec_skip is not None:
-                skipped.append(spec_skip)
-        elapsed = time.perf_counter() - start
-        sql = query if isinstance(query, str) else str(parsed)
-        from repro.core.assumptions import check_assumptions
-
-        return TestSuite(
-            sql, aq, datasets, skipped, elapsed, solve_time,
-            warnings=check_assumptions(aq),
-        )
+        return specs, skipped
 
     # -- internals --------------------------------------------------------------
 
@@ -284,39 +372,125 @@ class XDataGenerator:
         for note, build in spec.relaxations:
             yield note, build
 
+    def _db_constraints_for(self, space: ProblemSpace, db_cache: dict):
+        """Database constraints, cached per tuple-space signature.
+
+        The pk/fk formula set depends only on the slot counts per table
+        and the forced-null triples — attempts, input-option retries and
+        sibling specs with the same signature produce structurally
+        identical formulas over the same variable names, so one list is
+        built and shared.  Shared formulas also amortise their
+        ``unfold_formula`` / ``formula_variables`` memos across solves.
+        """
+        if not self.config.hot_path_caching:
+            return db_constraints(space)
+        signature = (
+            space.copies,
+            tuple(sorted(space.sizes.items())),
+            frozenset(space.forced_nulls),
+        )
+        cached = db_cache.get(signature)
+        if cached is None:
+            cached = db_constraints(space)
+            db_cache[signature] = cached
+        return cached
+
+    def _declared_space(
+        self, aq: AnalyzedQuery, spec: DatasetSpec, decl_cache: dict
+    ) -> ProblemSpace:
+        """A fresh, fully-declared problem space for ``spec``.
+
+        The declared state depends only on (query, copies, support-column
+        sequence); with hot-path caching on, it is built once per shape
+        and replayed from a snapshot for every sibling attempt and spec.
+        Support columns vary per spec, so the per-``copies`` base
+        declaration (occurrence slots only) is snapshotted separately and
+        spec-specific support slots are declared incrementally on top —
+        declaration order (occurrence slots first, then support slots)
+        matches a from-scratch build, so interned codes are identical.
+        """
+        support = (
+            tuple(spec.support_columns)
+            if self.config.use_fk_support_slots
+            else ()
+        )
+        if not self.config.hot_path_caching:
+            solver = Solver(self.config.solver)
+            space = ProblemSpace(aq, solver, copies=spec.copies)
+            for table, column in support:
+                add_fk_support_slots(space, table, column)
+            space.finalize_declarations()
+            return space
+        key = (spec.copies, support)
+        snap = decl_cache.get(key)
+        if snap is not None:
+            return ProblemSpace.restore(aq, snap, self.config.solver)
+        base_key = (spec.copies, ())
+        base = decl_cache.get(base_key)
+        if base is None:
+            solver = Solver(self.config.solver)
+            # Sibling base builds (other ``copies`` shapes) declare the
+            # same schema-wide value set in the same first-occurrence
+            # order, so they replay the first base's warm symbol table
+            # (and its frozen universes) instead of re-interning it.
+            warm = decl_cache.get("__warm_symbols__")
+            if warm is not None:
+                solver.symbols = warm.copy()
+                solver.warm_declarations = True
+            space = ProblemSpace(aq, solver, copies=spec.copies)
+            space.finalize_declarations()
+            base = space.snapshot()
+            decl_cache[base_key] = base
+            if warm is None:
+                decl_cache["__warm_symbols__"] = base.symbols
+        space = ProblemSpace.restore(aq, base, self.config.solver)
+        if support:
+            for table, column in support:
+                add_fk_support_slots(space, table, column)
+            space.finalize_declarations()
+            decl_cache[key] = space.snapshot()
+        return space
+
     def _run_spec(
-        self, aq: AnalyzedQuery, spec: DatasetSpec
-    ) -> tuple[GeneratedDataset | None, SkippedTarget | None, float]:
+        self, aq: AnalyzedQuery, spec: DatasetSpec, caches: dict | None = None
+    ) -> SpecResult:
+        if caches is None:
+            caches = {}
+        db_cache = caches.setdefault("db", {})
+        decl_cache = caches.setdefault("decl", {})
         solve_time = 0.0
+        stage = {"build": 0.0, "preprocess": 0.0, "search": 0.0, "assemble": 0.0}
         for note, build in self._attempts(spec):
             for use_input in self._input_options():
-                solver = Solver(self.config.solver)
-                space = ProblemSpace(aq, solver, copies=spec.copies)
-                if self.config.use_fk_support_slots:
-                    for table, column in spec.support_columns:
-                        add_fk_support_slots(space, table, column)
-                space.finalize_declarations()
+                build_start = time.perf_counter()
+                space = self._declared_space(aq, spec, decl_cache)
+                solver = space.solver
                 solver.add_all(build(space))
                 self._apply_null_tests(aq, space, spec)
-                solver.add_all(db_constraints(space))
+                solver.add_all(self._db_constraints_for(space, db_cache))
                 if use_input:
                     solver.add_all(
                         input_constraints(
                             space, self.config.input_db, self.config.input_mode
                         )
                     )
+                stage["build"] += time.perf_counter() - build_start
                 model = solver.solve(unfold=self.config.unfold)
                 stats = solver.last_stats
                 solve_time += stats.elapsed
+                stage["preprocess"] += stats.preprocess_time
+                stage["search"] += stats.search_time
                 if model is None:
                     continue
+                assemble_start = time.perf_counter()
                 db = assemble_dataset(space, model)
+                stage["assemble"] += time.perf_counter() - assemble_start
                 trace = None
                 if self.config.trace_constraints:
                     from repro.solver.cvcformat import assertions
 
                     trace = assertions(solver.formulas)
-                return (
+                return SpecResult(
                     GeneratedDataset(
                         group=spec.group,
                         target=spec.target,
@@ -329,8 +503,12 @@ class XDataGenerator:
                     ),
                     None,
                     solve_time,
+                    stage,
                 )
-        return None, SkippedTarget(spec.group, spec.target, "unsat"), solve_time
+        return SpecResult(
+            None, SkippedTarget(spec.group, spec.target, "unsat"),
+            solve_time, stage,
+        )
 
     def _apply_null_tests(self, aq, space, spec) -> None:
         """Make every IS [NOT] NULL conjunct hold (flipping any the spec

@@ -1,0 +1,278 @@
+"""Process-pool fan-out for dataset generation.
+
+Every :class:`~repro.core.spec.DatasetSpec` is an independent constraint
+problem (Algorithm 1 emits one per mutation-killing target), so the spec
+solves parallelise trivially — except that specs hold ``build`` closures,
+which do not pickle.  The protocol here sidesteps that:
+
+* the parent ships only ``(schema, sql, config)`` to the workers;
+* a worker re-parses and re-analyzes the query, re-derives the *same*
+  spec list (``XDataGenerator._derive_specs`` is deterministic for a
+  given query, schema and config) and solves the spec at its assigned
+  index;
+* results come back as picklable :class:`~repro.core.generator.SpecResult`
+  objects and are merged in spec order, so a parallel run produces a
+  suite identical to a sequential one.
+
+Workers memoize the derived state per process (keyed by a per-dispatch
+token), so re-derivation costs one analysis per process, not one per
+spec; the per-process database-constraint cache likewise warms up across
+the specs a worker handles.
+
+:func:`generate_suites_parallel` applies the same idea one level up for
+multi-query workloads: one task per query, each worker running the full
+sequential pipeline for its queries.
+
+The process pool is created lazily and kept alive for the life of the
+parent process: pool start-up (fork + pipe setup) costs tens of
+milliseconds, comparable to a whole solve for small queries, so paying
+it once per process instead of once per ``generate()`` call is what
+makes spec-level parallelism profitable for workload-sized batches.
+Pool failures (no fork support, broken workers) degrade to an in-process
+sequential run — parallelism is a throughput lever, never a correctness
+requirement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import itertools
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.schema.catalog import Schema
+
+
+def effective_workers(
+    requested: int, tasks: int, cap_to_cpus: bool = True
+) -> int:
+    """The pool size actually worth using for ``tasks`` tasks.
+
+    Never more than there are tasks and, by default, never more than the
+    machine has CPUs: on an oversubscribed host extra workers cannot run
+    concurrently, so they contribute only scheduling churn, duplicated
+    cache warm-up and pickling overhead.  ``cap_to_cpus=False`` bypasses
+    the hardware cap (tests exercising the pool protocol on small
+    machines).
+    """
+    limit = min(requested, tasks)
+    if cap_to_cpus:
+        limit = min(limit, os.cpu_count() or 1)
+    return max(1, limit)
+
+#: The shared executor, grown on demand, alive until :func:`shutdown_pool`
+#: or interpreter exit (concurrent.futures joins workers atexit).
+_POOL: ProcessPoolExecutor | None = None
+_POOL_WORKERS = 0
+
+#: Parent-side dispatch tokens; workers key their memoized state on the
+#: token so successive dispatches (different schemas, configs, queries)
+#: through the same long-lived pool never mix state.
+_TOKENS = itertools.count(1)
+
+#: Per-worker-process memo: token -> {"payload": ..., "derived": {...}}.
+_WORKER_STATE: dict = {}
+_WORKER_STATE_LIMIT = 8
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    global _POOL, _POOL_WORKERS
+    if _POOL is None or _POOL_WORKERS < workers:
+        if _POOL is not None:
+            _POOL.shutdown(wait=False)
+        _POOL = ProcessPoolExecutor(max_workers=workers)
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def _discard_pool() -> None:
+    global _POOL, _POOL_WORKERS
+    _POOL = None
+    _POOL_WORKERS = 0
+
+
+def shutdown_pool() -> None:
+    """Stop the shared worker pool (it restarts lazily on next use)."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+    _discard_pool()
+
+
+def _worker_state(token: int, payload: tuple) -> dict:
+    state = _WORKER_STATE.get(token)
+    if state is None:
+        if len(_WORKER_STATE) >= _WORKER_STATE_LIMIT:
+            _WORKER_STATE.clear()
+        state = {"payload": payload, "derived": {}}
+        _WORKER_STATE[token] = state
+    return state
+
+
+def _sequential_config(config):
+    """The config a worker runs with: same semantics, no nested pools."""
+    return dataclasses.replace(config, workers=1)
+
+
+def _derived_spec_state(state: dict):
+    """(generator, analyzed query, specs, db cache), memoized per token."""
+    derived = state["derived"]
+    cached = derived.get("specs")
+    if cached is None:
+        from repro.core.analyze import analyze_query
+        from repro.core.generator import XDataGenerator
+        from repro.sql.parser import parse_query
+
+        schema, config, sql = state["payload"]
+        generator = XDataGenerator(schema, config)
+        parsed = parse_query(sql)
+        if parsed.has_subquery_predicates:
+            from repro.core.decorrelate import decorrelate
+
+            parsed = decorrelate(parsed, schema)
+        aq = analyze_query(parsed, schema)
+        specs, _skipped = generator._derive_specs(aq)
+        cached = (generator, aq, specs, {})
+        derived["specs"] = cached
+    return cached
+
+
+def _solve_spec_task(token: int, payload: tuple, spec_index: int):
+    state = _worker_state(token, payload)
+    generator, aq, specs, caches = _derived_spec_state(state)
+    return generator._run_spec(aq, specs[spec_index], caches)
+
+
+def _generate_suite_task(token: int, payload: tuple, sql: str):
+    state = _worker_state(token, payload)
+    generator = state["derived"].get("generator")
+    if generator is None:
+        from repro.core.generator import XDataGenerator
+
+        schema, config = state["payload"]
+        generator = XDataGenerator(schema, config)
+        state["derived"]["generator"] = generator
+    return generator.generate(sql)
+
+
+def _chunksize(tasks: int, workers: int) -> int:
+    # Small enough to balance load, large enough to amortise IPC.
+    return max(1, tasks // (workers * 4))
+
+
+def solve_specs_parallel(
+    schema: Schema, sql: str, config, count: int, cap_to_cpus: bool = True
+):
+    """Solve the ``count`` specs of ``sql`` across the shared process pool.
+
+    Returns one :class:`SpecResult` per spec, in spec order.  Falls back
+    to an in-process sequential run when the effective pool size is one
+    or no pool can be created.
+    """
+    workers = effective_workers(config.workers, count, cap_to_cpus)
+    payload = (schema, _sequential_config(config), sql)
+    token = next(_TOKENS)
+    task = functools.partial(_solve_spec_task, token, payload)
+    if workers <= 1:
+        return [task(index) for index in range(count)]
+    try:
+        pool = _get_pool(workers)
+        return list(
+            pool.map(
+                task, range(count), chunksize=_chunksize(count, workers),
+            )
+        )
+    except (OSError, BrokenProcessPool):
+        _discard_pool()
+        return [task(index) for index in range(count)]
+
+
+def _generate_job_task(token: int, payload: tuple, job: tuple[int, str]):
+    state = _worker_state(token, payload)
+    schema_index, sql = job
+    generators = state["derived"].setdefault("generators", {})
+    generator = generators.get(schema_index)
+    if generator is None:
+        from repro.core.generator import XDataGenerator
+
+        config, schemas = state["payload"]
+        generator = XDataGenerator(schemas[schema_index], config)
+        generators[schema_index] = generator
+    return generator.generate(sql)
+
+
+def generate_jobs_parallel(
+    jobs: list[tuple[Schema, str]], config, workers: int,
+    cap_to_cpus: bool = True,
+) -> list:
+    """One :class:`TestSuite` per ``(schema, sql)`` job, across the pool.
+
+    The flat-batch entry point for workload-scale fan-out (many queries
+    over many schema variants, as in a grading service): the whole batch
+    is dispatched through the shared pool in a single ``map`` call, so
+    pool and pickling overhead is paid per batch, not per query.  Schemas
+    are deduplicated (by identity) and shipped once in the task payload;
+    workers keep one generator per schema so declaration caches warm up
+    across the jobs they handle.  Results arrive in job order.  Falls
+    back to an in-process sequential run when no pool can be created.
+    """
+    schemas: list[Schema] = []
+    schema_index: dict[int, int] = {}
+    indexed_jobs: list[tuple[int, str]] = []
+    for schema, sql in jobs:
+        index = schema_index.get(id(schema))
+        if index is None:
+            index = schema_index[id(schema)] = len(schemas)
+            schemas.append(schema)
+        indexed_jobs.append((index, sql))
+    pool_size = effective_workers(workers, len(jobs), cap_to_cpus)
+    payload = (_sequential_config(config), tuple(schemas))
+    token = next(_TOKENS)
+    task = functools.partial(_generate_job_task, token, payload)
+    if pool_size <= 1:
+        return [task(job) for job in indexed_jobs]
+    # One chunk per worker: the batch is dispatched exactly once, so the
+    # payload (with its schema list) is pickled per worker, not per job.
+    chunk = -(-len(indexed_jobs) // pool_size)
+    try:
+        pool = _get_pool(pool_size)
+        return list(pool.map(task, indexed_jobs, chunksize=chunk))
+    except (OSError, BrokenProcessPool):
+        _discard_pool()
+        return [task(job) for job in indexed_jobs]
+
+
+def generate_suites_parallel(
+    schema: Schema, queries: dict[str, str], config, workers: int,
+    cap_to_cpus: bool = True,
+) -> dict:
+    """One :class:`TestSuite` per query, generated across the shared pool.
+
+    Queries are independent generation problems; each worker runs the
+    full sequential pipeline for the queries it is handed.  Results are
+    keyed and ordered like ``queries``.  Falls back to an in-process
+    sequential run when the effective pool size is one or no pool can be
+    created.
+    """
+    names = list(queries)
+    sqls = [queries[name] for name in names]
+    pool_size = effective_workers(workers, len(sqls), cap_to_cpus)
+    payload = (schema, _sequential_config(config))
+    token = next(_TOKENS)
+    task = functools.partial(_generate_suite_task, token, payload)
+    if pool_size <= 1:
+        suites = [task(sql) for sql in sqls]
+        return dict(zip(names, suites))
+    try:
+        pool = _get_pool(pool_size)
+        suites = list(
+            pool.map(
+                task, sqls, chunksize=_chunksize(len(sqls), pool_size),
+            )
+        )
+    except (OSError, BrokenProcessPool):
+        _discard_pool()
+        suites = [task(sql) for sql in sqls]
+    return dict(zip(names, suites))

@@ -44,6 +44,23 @@ class SlotInfo:
     reason: str  # 'occurrence:<binding>', 'fk-support', 'agg-set:<k>'
 
 
+@dataclass
+class SpaceSnapshot:
+    """Declared state of a :class:`ProblemSpace` (see ``snapshot``).
+
+    ``symbols`` holds the snapshot owner's table; every restore copies it
+    so replayed spaces intern independently from the template and from
+    each other.
+    """
+
+    copies: int
+    sizes: dict[str, int]
+    slots: list[SlotInfo]
+    binding_slots: dict[str, list[int]]
+    infos: dict
+    symbols: object
+
+
 class ProblemSpace:
     """Solver variables + slots for one dataset-generation problem.
 
@@ -66,6 +83,9 @@ class ProblemSpace:
         self.forced_nulls: set[tuple[str, int, str]] = set()
         # binding -> list of slot indices, one per copy
         self._binding_slots: dict[str, list[int]] = {}
+        # Slots already covered by finalize_declarations (incremental:
+        # restored spaces only declare slots added after the snapshot).
+        self._declared_slots = 0
         for binding, occ in aq.occurrences.items():
             indices = []
             for copy in range(copies):
@@ -105,19 +125,46 @@ class ProblemSpace:
         and the datasets read like real data rather than repeated rows.
         """
         name = slot_var_name(table, index, column)
-        if self.solver.has_var(name):
+        solver = self.solver
+        if solver.has_var(name):
             return Linear.of_var(name)
-        schema_col = self.aq.schema.table(table).column(column)
-        if schema_col.sqltype.is_textual:
-            pool = self.aq.pools.pool_of(table, column)
-            own = tuple(str(v) for v in schema_col.domain)
-            pooled = self.aq.pools.preferred_values(table, column)
-            preferred = own + tuple(v for v in pooled if v not in set(own))
-            return self.solver.str_var(name, pool, _rotate(preferred, index))
-        preferred_ints = tuple(
-            int(v) for v in schema_col.domain if isinstance(v, int)
-        )
-        return self.solver.int_var(name, _rotate(preferred_ints, index))
+        pools = self.aq.pools
+        cache = pools._decl_cache if pools.cache_enabled else None
+        if cache is not None and solver.warm_declarations:
+            # Warm-table replay: the declared info (with its interned
+            # preferred codes) is valid verbatim in any solver whose
+            # table descends from the first declaration build.
+            info = pools._info_cache.get(name)
+            if info is not None:
+                if solver._infos_shared:
+                    solver._infos = dict(solver._infos)
+                    solver._infos_shared = False
+                solver._infos[name] = info
+                return Linear.of_var(name)
+        prepared = cache.get(name) if cache is not None else None
+        if prepared is None:
+            schema_col = self.aq.schema.table(table).column(column)
+            if schema_col.sqltype.is_textual:
+                pool = pools.pool_of(table, column)
+                own = tuple(str(v) for v in schema_col.domain)
+                pooled = pools.preferred_values(table, column)
+                preferred = own + tuple(v for v in pooled if v not in set(own))
+                prepared = ("str", pool, _rotate(preferred, index))
+            else:
+                preferred_ints = tuple(
+                    int(v) for v in schema_col.domain if isinstance(v, int)
+                )
+                prepared = ("int", None, _rotate(preferred_ints, index))
+            if cache is not None:
+                cache[name] = prepared
+        kind, pool, preferred = prepared
+        if kind == "str":
+            result = solver.str_var(name, pool, preferred)
+        else:
+            result = solver.int_var(name, preferred)
+        if cache is not None:
+            pools._info_cache[name] = solver._infos[name]
+        return result
 
     def attr_var(self, attr: Attr, copy: int = 0) -> Linear:
         """Variable for an occurrence-level attribute at its current slot."""
@@ -125,10 +172,70 @@ class ProblemSpace:
         return self.var(table, self.slot_of(attr.binding, copy), attr.column)
 
     def finalize_declarations(self) -> None:
-        """Declare every attribute of every slot so models decode full rows."""
-        for slot in self.slots:
+        """Declare every attribute of every slot so models decode full rows.
+
+        Incremental: slots declared by a previous call (or already present
+        in a restored snapshot) are skipped, so adding support slots to a
+        restored space only declares the new slots' variables.
+        """
+        for slot in self.slots[self._declared_slots:]:
             for column in self.aq.schema.table(slot.table).column_names:
                 self.var(slot.table, slot.index, column)
+        self._declared_slots = len(self.slots)
+
+    # -- declaration snapshots ------------------------------------------------
+
+    def _share_infos(self):
+        self.solver._infos_shared = True
+        return self.solver._infos
+
+    def snapshot(self) -> "SpaceSnapshot":
+        """Capture the fully-declared state for replay.
+
+        Valid immediately after :meth:`finalize_declarations` (before any
+        spec-specific constraints or forced nulls).  The declared
+        variables and interned symbols of a problem space depend only on
+        (query, schema, copies, support-slot sequence), so sibling specs
+        with the same shape replay the snapshot instead of re-declaring.
+        """
+        # Pre-pay the per-solve fresh-value interning and universe sort
+        # for every restored sibling (pool growth invalidates per pool).
+        # Freezing the live table (not the copy) lets sibling snapshots
+        # of the same generator skip the freeze entirely: nothing new is
+        # interned between base builds, so the early-out fires.
+        self.solver.symbols.freeze_universes(self.solver.config.fresh_str_values)
+        symbols = self.solver.symbols.copy()
+        return SpaceSnapshot(
+            copies=self.copies,
+            sizes=dict(self.sizes),
+            slots=list(self.slots),
+            binding_slots={k: list(v) for k, v in self._binding_slots.items()},
+            # Shared copy-on-write: the snapshotting solver materialises
+            # its own dict if it ever declares another variable.
+            infos=self._share_infos(),
+            # Copied now: the snapshotting space keeps interning (build
+            # literals, search witnesses) into its own table afterwards.
+            symbols=symbols,
+        )
+
+    @staticmethod
+    def restore(
+        aq: AnalyzedQuery, snap: "SpaceSnapshot", solver_config=None
+    ) -> "ProblemSpace":
+        """A fresh, independent (space, solver) pair from a snapshot."""
+        solver = Solver.from_declarations(
+            solver_config, snap.infos, snap.symbols.copy()
+        )
+        space = ProblemSpace.__new__(ProblemSpace)
+        space.aq = aq
+        space.solver = solver
+        space.copies = snap.copies
+        space.sizes = dict(snap.sizes)
+        space.slots = list(snap.slots)
+        space.forced_nulls = set()
+        space._binding_slots = {k: list(v) for k, v in snap.binding_slots.items()}
+        space._declared_slots = len(snap.slots)
+        return space
 
     # -- translation -----------------------------------------------------------
 

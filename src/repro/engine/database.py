@@ -19,9 +19,21 @@ class Database:
 
     def __init__(self, schema: Schema):
         self.schema = schema
+        # One header template (lower-cased columns + name->position index)
+        # per schema table, built on first use and cached on the schema —
+        # a generator assembles one Database per dataset, all against the
+        # same schema, and the headers never change.
+        templates = getattr(schema, "_relation_templates", None)
+        if templates is None:
+            templates = []
+            for table in schema.tables:
+                columns = [c.lower() for c in table.column_names]
+                index = {name: i for i, name in enumerate(columns)}
+                templates.append((table.name, columns, index))
+            schema._relation_templates = templates
         self._relations: dict[str, Relation] = {
-            table.name: Relation(list(table.column_names))
-            for table in schema.tables
+            name: Relation._from_header(columns, index)
+            for name, columns, index in templates
         }
 
     def relation(self, name: str) -> Relation:

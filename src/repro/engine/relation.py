@@ -32,6 +32,21 @@ class Relation:
                     f"{len(self.columns)}"
                 )
 
+    @classmethod
+    def _from_header(cls, columns: list[str], index: dict[str, int]) -> "Relation":
+        """Construct from a pre-validated header, skipping ``__post_init__``.
+
+        ``columns`` must already be lower-cased and ``index`` consistent
+        with it; the index dict is adopted by reference (it is never
+        mutated after construction), so one dict can back every relation
+        instantiated from the same schema table.
+        """
+        relation = object.__new__(cls)
+        relation.columns = list(columns)
+        relation.rows = []
+        relation._index = index
+        return relation
+
     def column_index(self, name: str) -> int:
         try:
             return self._index[name.lower()]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 
 from repro.solver.terms import VarInfo
@@ -23,27 +24,95 @@ class SymbolTable:
     _POOL_STRIDE = 1 << 42
     _GAP = 1 << 20
 
-    def __init__(self):
+    def __init__(self, fast: bool = True):
         #: pool -> sorted list of (value, code)
         self._pools: dict[str, list[tuple[str, int]]] = {}
         self._codes: dict[str, dict[str, int]] = {}
         self._reverse: dict[int, str] = {}
         self._fresh_counts: dict[str, int] = {}
+        #: pool -> id band (cached: band lookup is on the intern hot path)
+        self._bands: dict[str, int] = {}
+        #: Frozen per-pool candidate universes (see freeze_universes).
+        self._universes: dict[str, tuple[int, tuple[int, ...]]] | None = None
+        self._universe_fresh = 0
+        #: Hot-path ablation hook (SearchConfig.hot_path): ``fast=False``
+        #: recomputes bands and re-sorts known codes per call, as the
+        #: seed implementation did.  Codes are identical either way.
+        self._fast = fast
+        #: True while the interning dicts are shared with another table
+        #: (copy-on-write); any mutation materialises private copies.
+        self._shared = False
 
     def _band(self, pool: str) -> int:
-        if pool not in self._pools:
+        if not self._fast:
+            if pool not in self._pools:
+                self._pools[pool] = []
+                self._codes[pool] = {}
+            return (list(self._pools).index(pool) + 1) * self._POOL_STRIDE
+        band = self._bands.get(pool)
+        if band is None:
+            if self._shared:
+                self._materialize()
+            band = (len(self._pools) + 1) * self._POOL_STRIDE
             self._pools[pool] = []
             self._codes[pool] = {}
-        return (list(self._pools).index(pool) + 1) * self._POOL_STRIDE
+            self._bands[pool] = band
+        return band
+
+    def copy(self) -> "SymbolTable":
+        """An independent table with the same interned state.
+
+        Used by the generator's declaration snapshots: every dataset spec
+        of a query interns the same schema-domain values in the same
+        order, so a warm table is copied instead of re-interned (codes
+        are identical by construction).
+
+        In fast mode the copy is copy-on-write: the interning dicts are
+        shared until either table interns something new (most solves
+        only look up values that are already present), at which point the
+        mutating side takes private copies.  Non-fast mode copies
+        eagerly, as the seed implementation did.
+        """
+        clone = SymbolTable.__new__(SymbolTable)
+        if self._fast:
+            self._shared = True
+            clone._pools = self._pools
+            clone._codes = self._codes
+            clone._reverse = self._reverse
+            clone._shared = True
+        else:
+            clone._pools = {
+                pool: list(entries) for pool, entries in self._pools.items()
+            }
+            clone._codes = {
+                pool: dict(codes) for pool, codes in self._codes.items()
+            }
+            clone._reverse = dict(self._reverse)
+            clone._shared = False
+        clone._fresh_counts = dict(self._fresh_counts)
+        clone._bands = dict(self._bands)
+        # Frozen universes are immutable once computed; share them.
+        clone._universes = self._universes
+        clone._universe_fresh = self._universe_fresh
+        clone._fast = self._fast
+        return clone
+
+    def _materialize(self) -> None:
+        """Take private copies of the shared interning dicts."""
+        self._pools = {pool: list(entries) for pool, entries in self._pools.items()}
+        self._codes = {pool: dict(codes) for pool, codes in self._codes.items()}
+        self._reverse = dict(self._reverse)
+        self._shared = False
 
     def intern(self, pool: str, value: str) -> int:
         band = self._band(pool)
         codes = self._codes[pool]
         if value in codes:
             return codes[value]
+        if self._shared:
+            self._materialize()
+            codes = self._codes[pool]
         entries = self._pools[pool]
-        import bisect
-
         position = bisect.bisect_left(entries, (value, 0))
         if not entries:
             code = band
@@ -75,7 +144,59 @@ class SymbolTable:
 
     def known_codes(self, pool: str) -> list[int]:
         self._band(pool)
-        return sorted(code for _, code in self._pools[pool])
+        if not self._fast:
+            return sorted(code for _, code in self._pools[pool])
+        # Rank-preserving interning: entries are sorted by value, and code
+        # order equals value order, so the codes are already sorted.
+        return [code for _, code in self._pools[pool]]
+
+    def freeze_universes(self, fresh_count: int) -> None:
+        """Pre-intern search fresh values and cache candidate universes.
+
+        Domain construction wants, per pool, ``known codes + fresh_count
+        synthetic values``.  Tables that get copied for many sibling
+        solves (the generator's declaration snapshots) pay that cost once
+        here: the fresh values are interned now, the fresh counters are
+        rolled back so each solve re-derives the same names, and the
+        resulting code list is cached keyed by pool size — any later
+        intern (a query literal, an order witness) grows the pool and
+        transparently invalidates the cache for that pool.
+        """
+        if (
+            self._universes is not None
+            and fresh_count == self._universe_fresh
+            and len(self._universes) == len(self._pools)
+            and all(
+                len(self._pools.get(pool, ())) == size
+                for pool, (size, _) in self._universes.items()
+            )
+        ):
+            # Nothing interned since the last freeze (common when a
+            # snapshot is layered on a restored snapshot): still valid.
+            return
+        universes: dict[str, tuple[int, tuple[int, ...]]] = {}
+        for pool in list(self._pools):
+            base = self._fresh_counts.get(pool, 0)
+            for _ in range(fresh_count):
+                self.fresh(pool)
+            self._fresh_counts[pool] = base
+            entries = self._pools[pool]
+            universes[pool] = (len(entries), tuple(c for _, c in entries))
+        self._universes = universes
+        self._universe_fresh = fresh_count
+
+    def frozen_universe(self, pool: str, fresh_count: int):
+        """The cached universe for ``pool``, or None when stale/absent."""
+        universes = self._universes
+        if universes is None or fresh_count != self._universe_fresh:
+            return None
+        cached = universes.get(pool)
+        if cached is None:
+            return None
+        size, codes = cached
+        if len(self._pools.get(pool, ())) != size:
+            return None
+        return codes
 
 
 @dataclass

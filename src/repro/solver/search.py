@@ -16,6 +16,7 @@ reproducing, qualitatively, the slow quantified path the paper measured.
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass
 
 from repro.errors import SolverError, SolverLimitError
@@ -46,6 +47,11 @@ class SearchConfig:
     #: mode's analogue of seeing through quantifiers; the lazy quantifier
     #: mode runs with this off (with a fallback on node-limit overrun).
     enable_suggestions: bool = True
+    #: Hot-path ablation switch: satisfied-constraint marks during search
+    #: and the precomputed rep->members index.  Off reproduces the seed
+    #: implementation's re-evaluation behaviour (benchmarks only; results
+    #: are identical either way).
+    hot_path: bool = True
 
 
 @dataclass
@@ -57,6 +63,10 @@ class SearchOutcome:
     elapsed: float = 0.0
     classes: int = 0
     constraints: int = 0
+    #: Stage split of ``elapsed``: unit propagation / rewriting / domain
+    #: construction vs. the backtracking search proper.
+    preprocess_elapsed: float = 0.0
+    search_elapsed: float = 0.0
 
 
 # ---------------------------------------------------------------------------
@@ -87,7 +97,7 @@ def eval_formula(formula: Formula, assignment: dict[str, int]) -> bool | None:
                 saw_unknown = True
             elif value != is_conj:
                 # False part of a conjunction / True part of a disjunction
-                return not is_conj if not is_conj else False
+                return not is_conj
         if saw_unknown:
             return None
         return is_conj
@@ -104,12 +114,16 @@ class _UnionFind:
         self._parent: dict[str, str] = {}
 
     def find(self, var: str) -> str:
-        parent = self._parent.setdefault(var, var)
-        if parent == var:
+        # Iterative path-halving: long equality chains (one per join in a
+        # chain query) must not recurse towards Python's stack limit.
+        parent = self._parent
+        if var not in parent:
+            parent[var] = var
             return var
-        root = self.find(parent)
-        self._parent[var] = root
-        return root
+        while parent[var] != var:
+            parent[var] = parent[parent[var]]
+            var = parent[var]
+        return var
 
     def union(self, a: str, b: str) -> str:
         ra, rb = self.find(a), self.find(b)
@@ -144,6 +158,8 @@ class GroundSearch:
         self._fixed: dict[str, int] = {}
         self._constraints: list[Formula] = []
         self._unsat = False
+        self._members: dict[str, list[VarInfo]] | None = None
+        self._touched: set[str] | None = None
 
     # -- preprocessing ------------------------------------------------------
 
@@ -175,7 +191,8 @@ class GroundSearch:
             next_pending: list[Atom] = []
             for atom in pending:
                 lin = self._rewrite_linear(atom.lin)
-                atom = Atom(atom.op, lin)
+                if lin is not atom.lin:
+                    atom = Atom(atom.op, lin)
                 free = lin.variables
                 if not free:
                     if atom.evaluate({}) is False:
@@ -233,17 +250,47 @@ class GroundSearch:
         return info.pool if info else None
 
     def _rewrite_linear(self, lin: Linear) -> Linear:
+        find = self._uf.find
+        fixed = self._fixed
+        if self._config.hot_path:
+            # Identity fast path: most linears mention no merged or fixed
+            # variable, so the rebuild below would allocate an equal copy.
+            for name, _ in lin.coeffs:
+                rep = find(name)
+                if rep != name or rep in fixed:
+                    break
+            else:
+                return lin
         coeffs: dict[str, int] = {}
         constant = lin.const
         for name, coef in lin.coeffs:
-            rep = self._uf.find(name)
-            if rep in self._fixed:
-                constant += coef * self._fixed[rep]
+            rep = find(name)
+            if rep in fixed:
+                constant += coef * fixed[rep]
             else:
                 coeffs[rep] = coeffs.get(rep, 0) + coef
         return Linear.build(coeffs, constant)
 
+    def _touched_vars(self) -> set[str]:
+        """Variables whose atoms change under ``_rewrite_formula``.
+
+        A variable is touched when union-find maps it to a different
+        representative or its representative has a fixed value; formulas
+        mentioning no touched variable rewrite to themselves and are
+        returned as-is (hot path), which also preserves their per-node
+        memos across solves that share formula objects.
+        """
+        touched = set(self._fixed)
+        for name in list(self._uf._parent):
+            rep = self._uf.find(name)
+            if rep != name or rep in self._fixed:
+                touched.add(name)
+        return touched
+
     def _rewrite_formula(self, formula: Formula) -> Formula:
+        if self._config.hot_path and self._touched is not None:
+            if not (formula_variables(formula) & self._touched):
+                return formula
         if isinstance(formula, Atom):
             lin = self._rewrite_linear(formula.lin)
             atom = Atom(formula.op, lin)
@@ -290,8 +337,40 @@ class GroundSearch:
                 if below < value:
                     self._symbols.intern(pool, below)
 
+    def _domain_hint(self, atom: Atom) -> tuple[str, object]:
+        """Classify an atom's contribution to domain construction.
+
+        Returns ``('str', (pool, code))`` for order atoms against a string
+        constant (boundary witnesses needed), ``('int', (v-1, v, v+1))``
+        for single-variable integer atoms (break-point witnesses),
+        ``('off', k)`` for multi-variable atoms with constant offset k,
+        and ``('none', None)`` otherwise.
+        """
+        variables = atom.lin.variables
+        n_vars = len(variables)
+        kinds = {self._kind(v) for v in variables}
+        if kinds == {"str"}:
+            if atom.op in ("<", "<=") and n_vars == 1:
+                (name, coef), = atom.lin.coeffs
+                code = -atom.lin.const // coef if coef else None
+                pool = self._pool(name)
+                if code is not None and pool is not None:
+                    return ("str", (pool, code))
+            return ("none", None)
+        if n_vars == 1:
+            (name, coef), = atom.lin.coeffs
+            # Witnesses around the break-point of the atom.
+            value = -atom.lin.const // coef
+            return ("int", (value - 1, value, value + 1))
+        if n_vars >= 2 and atom.lin.const != 0:
+            return ("off", abs(atom.lin.const))
+        return ("none", None)
+
     def _build_domains(
-        self, reps: list[str], constraints: list[Formula]
+        self,
+        reps: list[str],
+        constraints: list[Formula],
+        free_reps: set[str] | None = None,
     ) -> dict[str, list[int]]:
         config = self._config
         # Collect integer constants relevant to each universe.
@@ -300,26 +379,37 @@ class GroundSearch:
         # String pools: order atoms against interned constants need
         # lexicographic boundary witnesses (a value just below / above).
         str_witness_pools: set[str] = set()
+        memo = config.hot_path
         for formula in constraints + list(self._residual_units):
-            for atom in _formula_atoms(formula):
-                n_vars = len(atom.lin.variables)
-                kinds = {self._kind(v) for v in atom.lin.variables}
-                if kinds == {"str"}:
-                    if atom.op in ("<", "<=") and n_vars == 1:
-                        (name, coef), = atom.lin.coeffs
-                        code = -atom.lin.const // coef if coef else None
-                        pool = self._pool(name)
-                        if code is not None and pool is not None:
-                            self._add_string_witnesses(pool, code)
-                    continue
-                if n_vars == 1:
-                    (name, coef), = atom.lin.coeffs
-                    # Witnesses around the break-point of the atom.
-                    for delta in (-1, 0, 1):
-                        value, rem = divmod(-atom.lin.const, coef)
-                        int_candidates.add(value + delta)
-                elif n_vars >= 2 and atom.lin.const != 0:
-                    offsets.add(abs(atom.lin.const))
+            # A formula's domain contribution is a pure function of its
+            # atoms' structure and their variables' kinds, both stable
+            # across the sibling solves that share the formula object —
+            # aggregated once per node and memoized like _fv/_atoms.
+            agg = formula.__dict__.get("_domagg") if memo else None
+            if agg is None:
+                ints: set[int] = set()
+                offs: set[int] = set()
+                strs: list[tuple[str, int]] = []
+                for atom in _formula_atoms(formula, cache=memo):
+                    hint = atom.__dict__.get("_domhint") if memo else None
+                    if hint is None:
+                        hint = self._domain_hint(atom)
+                        if memo:
+                            object.__setattr__(atom, "_domhint", hint)
+                    tag, data = hint
+                    if tag == "str":
+                        strs.append(data)
+                    elif tag == "int":
+                        ints.update(data)
+                    elif tag == "off":
+                        offs.add(data)
+                agg = (ints, offs, strs)
+                if memo:
+                    object.__setattr__(formula, "_domagg", agg)
+            int_candidates.update(agg[0])
+            offsets.update(agg[1])
+            for pool, code in agg[2]:
+                self._add_string_witnesses(pool, code)
         for rep in reps:
             if self._kind(rep) == "int":
                 for info in self._member_infos(rep):
@@ -338,100 +428,190 @@ class GroundSearch:
         for i in range(config.fresh_int_values):
             int_candidates.add(fresh_base + i)
         int_domain = sorted(int_candidates)
+        int_domain_set = set(int_domain)
 
         domains: dict[str, list[int]] = {}
-        str_universe_cache: dict[str | None, list[int]] = {}
+        max_size = config.max_domain_size
+        #: universe key -> (ordered candidates, membership set)
+        universe_cache: dict[str | None, tuple[list[int], set[int]]] = {
+            None: (int_domain, int_domain_set)
+        }
         for rep in reps:
             kind, pool = self._universe_key(rep)
-            if kind == "int":
-                candidates = list(int_domain)
-            else:
-                if pool not in str_universe_cache:
+            key = None if kind == "int" else pool
+            cached = universe_cache.get(key)
+            if cached is None:
+                frozen = (
+                    self._symbols.frozen_universe(pool, config.fresh_str_values)
+                    if memo
+                    else None
+                )
+                if frozen is not None:
+                    candidates = list(frozen)
+                else:
                     known = set(self._symbols.known_codes(pool))
                     for _ in range(config.fresh_str_values):
                         known.add(self._symbols.fresh(pool))
-                    str_universe_cache[pool] = sorted(known)
-                candidates = list(str_universe_cache[pool])
+                    candidates = sorted(known)
+                cached = (candidates, set(candidates))
+                universe_cache[key] = cached
+            candidates, candidate_set = cached
+            if free_reps is not None and rep in free_reps:
+                # Unconstrained: the search only ever takes the first
+                # ordered value, so the rest of the domain is not built.
+                first = None
+                for info in self._member_infos(rep):
+                    for value in info.preferred:
+                        if value in candidate_set:
+                            first = value
+                            break
+                    if first is not None:
+                        break
+                if first is not None:
+                    domains[rep] = [first]
+                else:
+                    domains[rep] = [candidates[0]] if candidates else []
+                continue
             preferred: list[int] = []
             seen: set[int] = set()
             for info in self._member_infos(rep):
                 for value in info.preferred:
-                    if value in set(candidates) and value not in seen:
+                    if value in candidate_set and value not in seen:
                         preferred.append(value)
                         seen.add(value)
-            ordered = preferred + [v for v in candidates if v not in seen]
-            if len(ordered) > config.max_domain_size:
-                ordered = ordered[: config.max_domain_size]
+            if not seen:
+                # No preferred values: the universe order is the domain.
+                # Sharing the list is safe — domains are never mutated.
+                ordered = (
+                    candidates
+                    if len(candidates) <= max_size
+                    else candidates[:max_size]
+                )
+            else:
+                ordered = preferred + [v for v in candidates if v not in seen]
+                if len(ordered) > max_size:
+                    ordered = ordered[:max_size]
             domains[rep] = ordered
         return domains
 
     def _member_infos(self, rep: str):
-        for name, info in self._infos.items():
-            if self._uf.find(name) == rep:
-                yield info
+        if not self._config.hot_path:
+            find = self._uf.find
+            return [
+                info for name, info in self._infos.items() if find(name) == rep
+            ]
+        # Precomputed rep -> members index (the union-find is stable once
+        # unit propagation finishes, which is before any caller runs).
+        # Insertion order matches the declaration-order scan above.
+        if self._members is None:
+            members: dict[str, list[VarInfo]] = {}
+            for name, info in self._infos.items():
+                members.setdefault(self._uf.find(name), []).append(info)
+            self._members = members
+        return self._members.get(rep, ())
 
     # -- search -------------------------------------------------------------------
 
     def run(self) -> SearchOutcome:
         start = time.perf_counter()
+
+        def preprocess_only(model=None, **kw):
+            elapsed = time.perf_counter() - start
+            return SearchOutcome(
+                model, elapsed=elapsed, preprocess_elapsed=elapsed, **kw
+            )
+
+        # Hot-path ablation: with the flag off, variable sets are
+        # recomputed per query as the seed implementation did.
+        memo = self._config.hot_path
+
         rest = self._flatten()
         self._propagate_units()
         if self._unsat:
-            return SearchOutcome(None, elapsed=time.perf_counter() - start)
+            return preprocess_only()
+        if memo:
+            self._touched = self._touched_vars()
         constraints: list[Formula] = []
         for formula in rest + list(self._residual_units):
             rewritten = self._rewrite_formula(formula)
-            if not formula_variables(rewritten):
+            if not formula_variables(rewritten, cache=memo):
                 # Variable-free after substitution: decide it now — it
                 # would never be re-evaluated by the watch scheme below.
                 if eval_formula(rewritten, {}) is not True:
-                    return SearchOutcome(
-                        None, elapsed=time.perf_counter() - start
-                    )
+                    return preprocess_only()
                 continue
             constraints.append(rewritten)
 
         # Representatives that still need values.
         reps: set[str] = set()
-        for name in self._infos:
-            rep = self._uf.find(name)
-            if rep not in self._fixed:
-                reps.add(rep)
+        if memo:
+            # Names the union-find has never seen are their own
+            # representative; skipping find() keeps its parent map to the
+            # merged variables only (which _touched_vars also iterates).
+            parent = self._uf._parent
+            find = self._uf.find
+            fixed = self._fixed
+            for name in self._infos:
+                rep = find(name) if name in parent else name
+                if rep not in fixed:
+                    reps.add(rep)
+        else:
+            for name in self._infos:
+                rep = self._uf.find(name)
+                if rep not in self._fixed:
+                    reps.add(rep)
         for formula in constraints:
-            for name in formula_variables(formula):
+            for name in formula_variables(formula, cache=memo):
                 if name not in self._fixed:
                     reps.add(name)
         rep_list = sorted(reps)
-        domains = self._build_domains(rep_list, constraints)
 
-        # Prune domains with single-variable constraints; index the rest.
+        # Index constraints first (domain construction can then treat
+        # unconstrained representatives specially on the hot path).
         watch: dict[str, list[int]] = {rep: [] for rep in rep_list}
         active: list[Formula] = []
+        single: list[tuple[str, Formula]] = []
         for formula in constraints:
-            variables = sorted(formula_variables(formula))
+            if memo:
+                # Shared formulas (db constraints) index identically in
+                # every sibling solve; memoize the sorted variable list.
+                variables = formula.__dict__.get("_fvsorted")
+                if variables is None:
+                    variables = sorted(formula_variables(formula))
+                    object.__setattr__(formula, "_fvsorted", variables)
+            else:
+                variables = sorted(formula_variables(formula, cache=False))
             if len(variables) == 1:
                 # Any single-variable constraint — an atom, or e.g. an
                 # input-database EXISTS disjunction (Section VI-A) — is a
-                # domain restriction; apply it up front.
-                rep = variables[0]
-                domains[rep] = [
-                    v
-                    for v in domains[rep]
-                    if eval_formula(formula, {rep: v}) is True
-                ]
+                # domain restriction; applied to its domain below.
+                single.append((variables[0], formula))
                 continue
             index = len(active)
             active.append(formula)
             for rep in variables:
                 if rep in watch:
                     watch[rep].append(index)
+
+        free_reps: set[str] | None = None
+        if memo:
+            # A representative with no watched and no single-variable
+            # constraint only ever takes its first ordered value; its
+            # domain need not be materialised beyond that.
+            free_reps = {rep for rep in rep_list if not watch[rep]}
+            free_reps.difference_update(rep for rep, _ in single)
+        domains = self._build_domains(rep_list, constraints, free_reps)
+
+        for rep, formula in single:
+            domains[rep] = [
+                v
+                for v in domains[rep]
+                if eval_formula(formula, {rep: v}) is True
+            ]
         for rep in rep_list:
             if not domains[rep]:
-                return SearchOutcome(
-                    None,
-                    elapsed=time.perf_counter() - start,
-                    classes=len(rep_list),
-                    constraints=len(active),
+                return preprocess_only(
+                    classes=len(rep_list), constraints=len(active)
                 )
 
         # Assign constrained classes first, in constraint-graph order so each
@@ -440,7 +620,7 @@ class GroundSearch:
         constrained = [rep for rep in rep_list if watch[rep]]
         free = [rep for rep in rep_list if not watch[rep]]
         constrained.sort(key=lambda r: (len(domains[r]), -len(watch[r]), r))
-        order = _connected_order_of(constrained, active, watch) + free
+        order = _connected_order_of(constrained, active, watch, memo) + free
 
         assignment: dict[str, int] = {}
         nodes = 0
@@ -488,7 +668,13 @@ class GroundSearch:
             avoided: list[int] = []
             atoms: list[Atom] = []
             for index in watch[rep]:
-                if eval_formula(active[index], assignment) is True:
+                if use_marks:
+                    # Monotone Kleene evaluation: once a constraint is
+                    # True under a partial assignment it stays True, so
+                    # the per-depth mark replaces re-evaluating it here.
+                    if sat_depth[index] >= 0:
+                        continue
+                elif eval_formula(active[index], assignment) is True:
                     continue
                 harvest(active[index], rep, atoms)
             for atom in atoms:
@@ -535,7 +721,15 @@ class GroundSearch:
             tail = [v for v in domain if v in avoided_set]
             return head + middle + tail
 
-        constraint_vars = [frozenset(formula_variables(f)) for f in active]
+        constraint_vars = [
+            frozenset(formula_variables(f, cache=memo)) for f in active
+        ]
+        #: Depth at which each active constraint was proven True under the
+        #: partial assignment (-1 = not yet).  Kleene evaluation is
+        #: monotone, so a constraint marked at depth d needs no
+        #: re-evaluation at any depth > d; marks are undone on backtrack.
+        use_marks = self._config.hot_path
+        sat_depth = [-1] * len(active)
 
         def backtrack(position: int):
             """Conflict-directed backjumping search.
@@ -553,6 +747,13 @@ class GroundSearch:
                 return True
             rep = order[position]
             conflict: set[str] = set()
+            if use_marks:
+                # Constraints already satisfied at a shallower depth can
+                # never fail below it; evaluate only the still-open ones
+                # for every candidate value of this class.
+                pending = [i for i in watch[rep] if sat_depth[i] < 0]
+            else:
+                pending = watch[rep]
             for value in ordered_values(rep):
                 nodes += 1
                 if nodes > limit:
@@ -561,30 +762,44 @@ class GroundSearch:
                     )
                 assignment[rep] = value
                 failed_index = -1
-                for index in watch[rep]:
-                    if eval_formula(active[index], assignment) is False:
+                marked: list[int] = []
+                for index in pending:
+                    outcome = eval_formula(active[index], assignment)
+                    if outcome is False:
                         failed_index = index
                         break
+                    if use_marks and outcome is True:
+                        sat_depth[index] = position
+                        marked.append(index)
                 if failed_index >= 0:
                     conflict |= constraint_vars[failed_index]
                     del assignment[rep]
+                    for index in marked:
+                        sat_depth[index] = -1
                     continue
                 result = backtrack(position + 1)
                 if result is True:
                     return True
                 del assignment[rep]
+                for index in marked:
+                    sat_depth[index] = -1
                 if rep not in result:
                     return result
                 conflict |= result
             conflict.discard(rep)
             return conflict
 
+        search_start = time.perf_counter()
+        preprocess_elapsed = search_start - start
         found = backtrack(0) is True
         elapsed = time.perf_counter() - start
+        search_elapsed = elapsed - preprocess_elapsed
         if not found:
             return SearchOutcome(
                 None, nodes=nodes, elapsed=elapsed,
                 classes=len(rep_list), constraints=len(active),
+                preprocess_elapsed=preprocess_elapsed,
+                search_elapsed=search_elapsed,
             )
         assignment.update(self._fixed)
         full: dict[str, int] = {}
@@ -596,6 +811,8 @@ class GroundSearch:
         return SearchOutcome(
             model, nodes=nodes, elapsed=elapsed,
             classes=len(rep_list), constraints=len(active),
+            preprocess_elapsed=preprocess_elapsed,
+            search_elapsed=search_elapsed,
         )
 
 
@@ -603,19 +820,22 @@ def _connected_order_of(
     seeds: list[str],
     active: list[Formula],
     watch: dict[str, list[int]],
+    memo: bool = True,
 ) -> list[str]:
     """Greedy constraint-graph traversal starting from the hardest seed."""
     if not seeds:
         return []
-    constraint_vars = [sorted(formula_variables(f)) for f in active]
+    constraint_vars = [
+        sorted(formula_variables(f, cache=memo)) for f in active
+    ]
     order: list[str] = []
     placed: set[str] = set()
     pending = list(seeds)
     while pending:
         start = next(p for p in pending if p not in placed)
-        queue = [start]
+        queue = deque([start])
         while queue:
-            rep = queue.pop(0)
+            rep = queue.popleft()
             if rep in placed:
                 continue
             placed.add(rep)
@@ -630,7 +850,11 @@ def _connected_order_of(
     return order
 
 
-def _formula_atoms(formula: Formula) -> list[Atom]:
+def _formula_atoms(formula: Formula, cache: bool = False) -> list[Atom]:
+    if cache:
+        cached = formula.__dict__.get("_atoms")
+        if cached is not None:
+            return cached
     out: list[Atom] = []
     stack = [formula]
     while stack:
@@ -643,4 +867,8 @@ def _formula_atoms(formula: Formula) -> list[Atom]:
             stack.append(node.part)
         elif isinstance(node, Quantified):
             stack.extend(node.instances)
+    if cache:
+        # Formula nodes are frozen dataclasses; the memo rides alongside
+        # the _fv cache and is invisible to __eq__/__hash__.
+        object.__setattr__(formula, "_atoms", out)
     return out

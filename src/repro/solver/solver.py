@@ -34,32 +34,61 @@ class SolveStats:
     constraints: int
     unfolded: bool
     iterations: int = 1
+    #: Stage split of ``elapsed`` (see :class:`SearchOutcome`): constraint
+    #: preprocessing (unit propagation, rewriting, domain construction)
+    #: vs. the backtracking search.  Summed over restarts in lazy mode.
+    preprocess_time: float = 0.0
+    search_time: float = 0.0
 
 
-def unfold_formula(formula: Formula) -> Formula:
-    """Recursively expand every bounded quantifier into ground form."""
+def unfold_formula(formula: Formula, cache: bool = True) -> Formula:
+    """Recursively expand every bounded quantifier into ground form.
+
+    With ``cache=True`` quantifier-free formulas are returned as-is (they
+    unfold to an equal structure anyway), and the expansion of quantified
+    ones is memoized on the node — formulas shared across solver
+    instances, like the cached database-constraint sets, unfold once
+    instead of once per solve.  ``cache=False`` rebuilds the full tree
+    every call (hot-path ablation; see SearchConfig.hot_path).
+    """
+    if cache:
+        if not _contains_quantifier(formula):
+            return formula
+        cached = formula.__dict__.get("_unfolded")
+        if cached is not None:
+            return cached
     if isinstance(formula, Quantified):
-        expanded = tuple(unfold_formula(p) for p in formula.instances)
-        if formula.kind == "forall":
-            return Conj(expanded)
-        return Disj(expanded)
-    if isinstance(formula, Conj):
-        return Conj(tuple(unfold_formula(p) for p in formula.parts))
-    if isinstance(formula, Disj):
-        return Disj(tuple(unfold_formula(p) for p in formula.parts))
-    if isinstance(formula, Neg):
-        return Neg(unfold_formula(formula.part))
-    return formula
+        expanded = tuple(unfold_formula(p, cache) for p in formula.instances)
+        result: Formula = (
+            Conj(expanded) if formula.kind == "forall" else Disj(expanded)
+        )
+    elif isinstance(formula, Conj):
+        result = Conj(tuple(unfold_formula(p, cache) for p in formula.parts))
+    elif isinstance(formula, Disj):
+        result = Disj(tuple(unfold_formula(p, cache) for p in formula.parts))
+    elif isinstance(formula, Neg):
+        result = Neg(unfold_formula(formula.part, cache))
+    else:  # Atom / BoolConst — nothing to expand.
+        return formula
+    if cache:
+        object.__setattr__(formula, "_unfolded", result)
+    return result
 
 
 def _contains_quantifier(formula: Formula) -> bool:
+    cached = formula.__dict__.get("_has_q")
+    if cached is not None:
+        return cached
     if isinstance(formula, Quantified):
-        return True
-    if isinstance(formula, (Conj, Disj)):
-        return any(_contains_quantifier(p) for p in formula.parts)
-    if isinstance(formula, Neg):
-        return _contains_quantifier(formula.part)
-    return False
+        result = True
+    elif isinstance(formula, (Conj, Disj)):
+        result = any(_contains_quantifier(p) for p in formula.parts)
+    elif isinstance(formula, Neg):
+        result = _contains_quantifier(formula.part)
+    else:
+        result = False
+    object.__setattr__(formula, "_has_q", result)
+    return result
 
 
 def _instance_count(formula: Formula) -> int:
@@ -110,17 +139,48 @@ class Solver:
     """
 
     def __init__(self, config: SearchConfig | None = None):
-        self.symbols = SymbolTable()
-        self._infos: dict[str, VarInfo] = {}
-        self._formulas: list[Formula] = []
         self.config = config or SearchConfig()
+        self.symbols = SymbolTable(fast=self.config.hot_path)
+        self._infos: dict[str, VarInfo] = {}
+        self._infos_shared = False
+        self._formulas: list[Formula] = []
         self.last_stats: SolveStats | None = None
+        #: True when this solver's symbol table descends (by copy) from a
+        #: table that already interned the query's declaration values —
+        #: declared VarInfos may then be replayed without re-interning
+        #: (their codes are valid in any descendant table).
+        self.warm_declarations = False
+
+    @classmethod
+    def from_declarations(
+        cls,
+        config: SearchConfig | None,
+        infos: dict[str, VarInfo],
+        symbols: SymbolTable,
+    ) -> "Solver":
+        """A fresh solver pre-seeded with declared variables.
+
+        ``infos`` is copied; ``symbols`` is adopted as-is (pass an
+        independent copy).  Used to replay a declaration snapshot instead
+        of re-declaring and re-interning the same variables per spec.
+        """
+        solver = cls(config)
+        # Copy-on-write: most replayed solvers never declare another
+        # variable, so the snapshot's info dict is shared until one does.
+        solver._infos = infos
+        solver._infos_shared = True
+        solver.symbols = symbols
+        solver.warm_declarations = True
+        return solver
 
     # -- variable declaration ------------------------------------------------
 
     def int_var(self, name: str, preferred: tuple[int, ...] = ()) -> Linear:
         """Declare (or re-reference) an integer variable."""
         if name not in self._infos:
+            if self._infos_shared:
+                self._infos = dict(self._infos)
+                self._infos_shared = False
             self._infos[name] = VarInfo(name, "int", None, tuple(preferred))
         return Linear.of_var(name)
 
@@ -132,6 +192,9 @@ class Solver:
             preferred = tuple(
                 self.symbols.intern(pool, value) for value in preferred_values
             )
+            if self._infos_shared:
+                self._infos = dict(self._infos)
+                self._infos_shared = False
             self._infos[name] = VarInfo(name, "str", pool, preferred)
         return Linear.of_var(name)
 
@@ -177,9 +240,13 @@ class Solver:
                 the paper's slow "without unfolding" configuration.
         """
         if unfold:
-            formulas = [unfold_formula(f) for f in self._formulas]
+            memo = self.config.hot_path
+            formulas = [unfold_formula(f, cache=memo) for f in self._formulas]
+            # GroundSearch never mutates the info dict; the defensive
+            # copy is only kept on the ablation path (seed behaviour).
+            infos = self._infos if memo else dict(self._infos)
             outcome = GroundSearch(
-                formulas, dict(self._infos), self.symbols, self.config
+                formulas, infos, self.symbols, self.config
             ).run()
             self.last_stats = SolveStats(
                 satisfiable=outcome.model is not None,
@@ -188,6 +255,8 @@ class Solver:
                 classes=outcome.classes,
                 constraints=outcome.constraints,
                 unfolded=True,
+                preprocess_time=outcome.preprocess_elapsed,
+                search_time=outcome.search_elapsed,
             )
             return outcome.model
         return self._solve_lazy()
@@ -222,6 +291,8 @@ class Solver:
         learned: list[Formula] = []
         nodes = 0
         elapsed = 0.0
+        preprocess_time = 0.0
+        search_time = 0.0
         iterations = 0
         while True:
             iterations += 1
@@ -241,10 +312,13 @@ class Solver:
                 ).run()
             nodes += outcome.nodes
             elapsed += outcome.elapsed
+            preprocess_time += outcome.preprocess_elapsed
+            search_time += outcome.search_elapsed
             if outcome.model is None:
                 self.last_stats = SolveStats(
                     False, nodes, elapsed, outcome.classes,
                     outcome.constraints, unfolded=False, iterations=iterations,
+                    preprocess_time=preprocess_time, search_time=search_time,
                 )
                 return None
             assignment = outcome.model.assignment
@@ -261,6 +335,7 @@ class Solver:
                 self.last_stats = SolveStats(
                     True, nodes, elapsed, outcome.classes,
                     outcome.constraints, unfolded=False, iterations=iterations,
+                    preprocess_time=preprocess_time, search_time=search_time,
                 )
                 return outcome.model
             learned.extend(new_instances)

@@ -88,7 +88,13 @@ class Linear:
 
     @property
     def variables(self) -> tuple[str, ...]:
-        return tuple(v for v, _ in self.coeffs)
+        # Memoized: linears are immutable and this is asked on every
+        # rewrite/unit-propagation pass over an atom.
+        cached = self.__dict__.get("_vars")
+        if cached is None:
+            cached = tuple(v for v, _ in self.coeffs)
+            object.__setattr__(self, "_vars", cached)
+        return cached
 
     def evaluate(self, assignment: dict[str, int]) -> int | None:
         """Value under ``assignment``; None if any variable is unassigned."""
@@ -220,13 +226,15 @@ class Quantified(Formula):
         return Disj(self.instances)
 
 
-def formula_variables(formula: Formula, into: set[str] | None = None) -> set[str]:
-    """All variable names occurring in ``formula``."""
-    out: set[str] = set() if into is None else into
+def _collect_variables(formula: Formula) -> frozenset[str]:
+    out: set[str] = set()
     stack: list[Formula] = [formula]
     while stack:
         node = stack.pop()
-        if isinstance(node, Atom):
+        cached = node.__dict__.get("_fv")
+        if cached is not None:
+            out.update(cached)
+        elif isinstance(node, Atom):
             out.update(node.variables)
         elif isinstance(node, (Conj, Disj)):
             stack.extend(node.parts)
@@ -234,7 +242,36 @@ def formula_variables(formula: Formula, into: set[str] | None = None) -> set[str
             stack.append(node.part)
         elif isinstance(node, Quantified):
             stack.extend(node.instances)
-    return out
+    return frozenset(out)
+
+
+def formula_variables(
+    formula: Formula, into: set[str] | None = None, cache: bool = True
+) -> frozenset[str] | set[str]:
+    """All variable names occurring in ``formula``.
+
+    The result is memoized on the formula node (formulas are immutable),
+    so the search core's repeated variable-set queries over the same
+    constraint objects cost one traversal total, not one per query.
+    ``cache=False`` recomputes from scratch (hot-path ablation; see
+    SearchConfig.hot_path).
+    """
+    if not cache:
+        out = _collect_variables(formula)
+        if into is None:
+            return set(out)
+        into.update(out)
+        return into
+    cached = formula.__dict__.get("_fv")
+    if cached is None:
+        cached = _collect_variables(formula)
+        # Frozen dataclasses forbid ordinary attribute assignment; the
+        # cache does not participate in __eq__/__hash__ (fields only).
+        object.__setattr__(formula, "_fv", cached)
+    if into is None:
+        return cached
+    into.update(cached)
+    return into
 
 
 def atoms_of(formulas: Iterable[Formula]) -> list[Atom]:

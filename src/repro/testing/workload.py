@@ -67,6 +67,7 @@ def generate_workload(
     queries: dict[str, str],
     config: GenConfig | None = None,
     minimize: bool = True,
+    workers: int | None = None,
 ) -> WorkloadSuite:
     """Generate suites for every query and combine them.
 
@@ -77,13 +78,29 @@ def generate_workload(
         minimize: Greedily drop datasets that add no killing power across
             the whole workload (each query's original-result dataset is
             always kept).
+        workers: Process-pool width for generation, parallel across
+            queries (each query is an independent generation problem).
+            Defaults to ``config.workers``; 1 means sequential.  The
+            combined suite is identical either way — results are merged
+            in query order.
     """
-    generator = XDataGenerator(schema, config)
+    config = config or GenConfig()
+    if workers is None:
+        workers = config.workers
     entries: list[WorkloadEntry] = []
-    for name, sql in queries.items():
-        suite = generator.generate(sql)
-        space = enumerate_mutants(suite.analyzed)
-        entries.append(WorkloadEntry(name, sql, suite, space))
+    if workers > 1 and len(queries) > 1:
+        from repro.core.parallel import generate_suites_parallel
+
+        suites = generate_suites_parallel(schema, queries, config, workers)
+        for name, suite in suites.items():
+            space = enumerate_mutants(suite.analyzed)
+            entries.append(WorkloadEntry(name, queries[name], suite, space))
+    else:
+        generator = XDataGenerator(schema, config)
+        for name, sql in queries.items():
+            suite = generator.generate(sql)
+            space = enumerate_mutants(suite.analyzed)
+            entries.append(WorkloadEntry(name, sql, suite, space))
 
     all_datasets: list[tuple[int, int, GeneratedDataset]] = []
     for entry_index, entry in enumerate(entries):

@@ -1,0 +1,168 @@
+"""Parallel generation determinism: a pooled run must equal a sequential one.
+
+The parallel layer re-derives specs in worker processes and merges
+results in spec order, so ``workers=4`` must produce byte-identical
+suites to ``workers=1`` — including the UNSAT/skipped groups and the
+relaxation-ladder datasets, which exercise the retry paths inside
+``_run_spec``.  Tests that need real worker processes bypass the
+CPU-count cap (``cap_to_cpus=False``) so the pool protocol is exercised
+even on single-core machines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generator import GenConfig, XDataGenerator
+from repro.core.parallel import (
+    effective_workers,
+    generate_jobs_parallel,
+    generate_suites_parallel,
+    shutdown_pool,
+)
+from repro.datasets import UNIVERSITY_QUERIES, schema_with_fks
+from repro.schema.catalog import Column, Schema, Table
+from repro.schema.types import SqlType
+
+
+def _fingerprint(suite):
+    """Everything observable about a suite, in order, byte for byte."""
+    return (
+        suite.sql,
+        [
+            (
+                d.group,
+                d.target,
+                d.purpose,
+                d.relaxation,
+                d.used_input_db,
+                d.db.pretty(only_nonempty=False),
+            )
+            for d in suite.datasets
+        ],
+        [(s.group, s.target, s.reason) for s in suite.skipped],
+    )
+
+
+def _pk_group_schema():
+    """GROUP BY over the whole PK: forces the S1/S2 relaxation ladder."""
+    return Schema(
+        [
+            Table(
+                "t",
+                [Column("g", SqlType.INT), Column("a", SqlType.INT)],
+                primary_key=("g",),
+            )
+        ]
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _stop_pool_afterwards():
+    yield
+    shutdown_pool()
+
+
+class TestEffectiveWorkers:
+    def test_never_more_than_tasks(self):
+        assert effective_workers(8, 3, cap_to_cpus=False) == 3
+
+    def test_at_least_one(self):
+        assert effective_workers(0, 0) == 1
+
+    def test_cap_bypass(self):
+        assert effective_workers(4, 10, cap_to_cpus=False) == 4
+
+
+class TestSpecFanoutDeterminism:
+    """GenConfig(workers=4) through the public generate() entry point."""
+
+    @pytest.mark.parametrize("name", ["Q2", "Q5", "Q7"])
+    def test_suites_identical(self, name):
+        info = UNIVERSITY_QUERIES[name]
+        schema = schema_with_fks(info["fk_rows"][-1])
+        sequential = XDataGenerator(schema, GenConfig(workers=1)).generate(
+            info["sql"]
+        )
+        parallel = XDataGenerator(schema, GenConfig(workers=4)).generate(
+            info["sql"]
+        )
+        assert _fingerprint(sequential) == _fingerprint(parallel)
+
+    def test_skipped_groups_covered(self):
+        """The comparison must include UNSAT/skipped groups, not just SAT."""
+        info = UNIVERSITY_QUERIES["Q5"]
+        schema = schema_with_fks(info["fk_rows"][-1])
+        suite = XDataGenerator(schema, GenConfig(workers=4)).generate(
+            info["sql"]
+        )
+        assert suite.skipped, "expected Q5 to produce skipped groups"
+
+    def test_relaxation_path_identical(self):
+        schema = _pk_group_schema()
+        sql = "SELECT t.g, SUM(t.a) FROM t GROUP BY t.g"
+        sequential = XDataGenerator(schema, GenConfig(workers=1)).generate(sql)
+        parallel = XDataGenerator(schema, GenConfig(workers=4)).generate(sql)
+        assert _fingerprint(sequential) == _fingerprint(parallel)
+        assert any(d.relaxation for d in parallel.datasets), (
+            "expected the relaxation ladder to fire"
+        )
+
+
+class TestPooledBatchDeterminism:
+    """generate_jobs_parallel with real worker processes (cap bypassed)."""
+
+    def test_university_workload_identical(self):
+        schema_cache = {}
+        jobs = []
+        for name, info in UNIVERSITY_QUERIES.items():
+            for fk_rows in info["fk_rows"]:
+                key = tuple(fk_rows)
+                if key not in schema_cache:
+                    schema_cache[key] = schema_with_fks(fk_rows)
+                jobs.append((schema_cache[key], info["sql"]))
+
+        config = GenConfig()
+        sequential = [
+            XDataGenerator(schema, config).generate(sql)
+            for schema, sql in jobs
+        ]
+        pooled = generate_jobs_parallel(jobs, config, 4, cap_to_cpus=False)
+
+        assert len(pooled) == len(sequential)
+        for seq_suite, par_suite in zip(sequential, pooled):
+            assert _fingerprint(seq_suite) == _fingerprint(par_suite)
+        assert any(s.skipped for s in pooled)
+
+    def test_per_query_pool_identical(self):
+        queries = {
+            name: UNIVERSITY_QUERIES[name]["sql"] for name in ("Q1", "Q8")
+        }
+        schema = schema_with_fks(["teaches.id"])
+        config = GenConfig()
+        pooled = generate_suites_parallel(
+            schema, queries, config, 4, cap_to_cpus=False
+        )
+        assert list(pooled) == list(queries)
+        for name, sql in queries.items():
+            sequential = XDataGenerator(schema, config).generate(sql)
+            assert _fingerprint(sequential) == _fingerprint(pooled[name])
+
+
+class TestWorkloadEntryPoint:
+    def test_generate_workload_workers_identical(self):
+        from repro.testing.workload import generate_workload
+
+        schema = schema_with_fks(["teaches.id"])
+        queries = {
+            "q7": UNIVERSITY_QUERIES["Q7"]["sql"],
+            "q8": UNIVERSITY_QUERIES["Q8"]["sql"],
+        }
+        sequential = generate_workload(schema, queries, workers=1)
+        parallel = generate_workload(schema, queries, workers=4)
+        assert [
+            _fingerprint(e.suite) for e in sequential.entries
+        ] == [_fingerprint(e.suite) for e in parallel.entries]
+        assert [
+            d.db.pretty(only_nonempty=False) for d in sequential.datasets
+        ] == [d.db.pretty(only_nonempty=False) for d in parallel.datasets]

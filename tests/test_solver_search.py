@@ -275,3 +275,46 @@ class TestLimits:
                 solver.add(b.ne(b.var(first), b.var(second)))
         with pytest.raises(SolverLimitError):
             solver.solve()
+
+
+class TestEvalShortCircuit:
+    """Kleene evaluation short-circuits: all four Conj/Disj outcomes.
+
+    A False part decides a conjunction and a True part decides a
+    disjunction even when sibling parts are still unknown; with no
+    deciding part, any unknown part makes the result unknown (None).
+    """
+
+    def _parts(self):
+        from repro.solver.terms import Conj, Disj
+
+        true_atom = b.eq(b.var("x"), b.const(1))    # x = 1
+        false_atom = b.eq(b.var("x"), b.const(2))   # x = 2
+        unknown_atom = b.eq(b.var("y"), b.const(1))  # y unassigned
+        assignment = {"x": 1}
+        return Conj, Disj, true_atom, false_atom, unknown_atom, assignment
+
+    def test_conj_false_part_decides_despite_unknown(self):
+        Conj, _, true_atom, false_atom, unknown, assignment = self._parts()
+        formula = Conj((unknown, false_atom, true_atom))
+        assert eval_formula(formula, assignment) is False
+
+    def test_conj_unknown_part_makes_result_unknown(self):
+        Conj, _, true_atom, _, unknown, assignment = self._parts()
+        formula = Conj((true_atom, unknown))
+        assert eval_formula(formula, assignment) is None
+
+    def test_disj_true_part_decides_despite_unknown(self):
+        _, Disj, true_atom, false_atom, unknown, assignment = self._parts()
+        formula = Disj((unknown, false_atom, true_atom))
+        assert eval_formula(formula, assignment) is True
+
+    def test_disj_unknown_part_makes_result_unknown(self):
+        _, Disj, _, false_atom, unknown, assignment = self._parts()
+        formula = Disj((false_atom, unknown))
+        assert eval_formula(formula, assignment) is None
+
+    def test_fully_determined_conj_and_disj(self):
+        Conj, Disj, true_atom, false_atom, _, assignment = self._parts()
+        assert eval_formula(Conj((true_atom, true_atom)), assignment) is True
+        assert eval_formula(Disj((false_atom, false_atom)), assignment) is False
