@@ -91,6 +91,29 @@ def _build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="with --university: constrain values to the sample database",
         )
+        cmd.add_argument(
+            "--deadline",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="wall-clock budget per dataset (solve attempts beyond it "
+            "are cut off and the target is skipped with reason 'budget')",
+        )
+        cmd.add_argument(
+            "--retries",
+            type=int,
+            default=1,
+            metavar="N",
+            help="budget-escalation retries per dataset before degrading "
+            "(each retry multiplies the node budget; default 1)",
+        )
+        cmd.add_argument(
+            "--fail-fast",
+            action="store_true",
+            help="abort on the first degraded dataset (budget/error skip) "
+            "instead of completing the suite and reporting it in the "
+            "health summary",
+        )
         if name in ("mutants", "evaluate"):
             cmd.add_argument(
                 "--full-outer",
@@ -215,6 +238,9 @@ def main(argv: list[str] | None = None) -> int:
             input_db=input_db,
             trace_constraints=getattr(args, "show_constraints", False),
             workers=max(1, args.workers),
+            spec_deadline_s=args.deadline,
+            retries=max(0, args.retries),
+            fail_fast=args.fail_fast,
         )
         if args.command == "mutants":
             space = enumerate_mutants(

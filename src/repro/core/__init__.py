@@ -10,7 +10,13 @@ Public surface:
 """
 
 from repro.core.analyze import AnalyzedQuery, analyze_query
-from repro.core.generator import GeneratedDataset, GenConfig, TestSuite, XDataGenerator
+from repro.core.generator import (
+    GeneratedDataset,
+    GenConfig,
+    SuiteHealth,
+    TestSuite,
+    XDataGenerator,
+)
 
 __all__ = [
     "AnalyzedQuery",
@@ -19,4 +25,5 @@ __all__ = [
     "GenConfig",
     "TestSuite",
     "GeneratedDataset",
+    "SuiteHealth",
 ]

@@ -20,6 +20,8 @@ three per selection conjunct, and one per aggregation operator.
 
 from __future__ import annotations
 
+import dataclasses
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -36,6 +38,7 @@ from repro.core.input_database import input_constraints
 from repro.core.spec import DatasetSpec, SkippedTarget
 from repro.core.tuplespace import ProblemSpace
 from repro.engine.database import Database
+from repro.errors import GenerationError, SolverLimitError
 from repro.schema.catalog import Schema
 from repro.solver.search import SearchConfig
 from repro.solver.solver import Solver, SolveStats
@@ -89,6 +92,34 @@ class GenConfig:
     use_equivalence_classes: bool = True  # Section IV-B / Fig. 2
     use_fk_support_slots: bool = True  # Section V-B extra tuples
     use_groupby_distinctness: bool = True  # aggregate-masking guard
+    #: -- fault tolerance (DESIGN.md §5d) --------------------------------
+    #: Wall-clock budget for one spec, covering its whole retry ladder
+    #: (seconds; ``None`` = unbounded).  Also bounds each individual
+    #: solve via :attr:`SearchConfig.deadline_s`.
+    spec_deadline_s: float | None = None
+    #: Wall-clock budget for the whole :meth:`XDataGenerator.generate`
+    #: call; specs not started (or not finished, in a pooled run) when
+    #: it expires are skipped with reason ``"budget"``.
+    suite_deadline_s: float | None = None
+    #: Upper bound on a pooled run's wait for any single worker result;
+    #: a hung worker then degrades the run instead of hanging it.
+    #: ``suite_deadline_s`` implies the same bound; this one applies
+    #: even without a suite deadline.
+    pool_timeout_s: float | None = None
+    #: Retry ladder (§5d): after a budget trip on the primary attempt,
+    #: how many times to retry it with an escalated node budget
+    #: (``node_limit * retry_node_factor**i``) before dropping to the
+    #: spec's relaxations.
+    retries: int = 1
+    retry_node_factor: int = 4
+    #: Final ladder rung: retry the primary build with ``copies=1``
+    #: (best-effort — specs whose builds hard-code the copy count simply
+    #: fail the rung).
+    retry_shrink_copies: bool = True
+    #: Abort the suite on the first degraded spec (budget exhaustion or
+    #: unexpected error) instead of recording a skip and continuing.
+    #: UNSAT specs are never failures (they are equivalence proofs).
+    fail_fast: bool = False
 
 
 @dataclass
@@ -103,6 +134,9 @@ class GeneratedDataset:
     relaxation: str | None = None
     used_input_db: bool = False
     constraints_cvc: str | None = None
+    #: Solve attempts spent before this dataset emerged (1 = first try;
+    #: > 1 means the retry ladder fired).
+    attempts: int = 1
 
     def pretty(self) -> str:
         header = f"[{self.group}] {self.purpose}"
@@ -123,6 +157,67 @@ class SpecResult:
     skipped: SkippedTarget | None
     solve_time: float
     stage_times: dict[str, float] = field(default_factory=dict)
+    #: Total solve attempts across the retry ladder.
+    attempts: int = 1
+
+
+@dataclass
+class SuiteHealth:
+    """Failure-semantics summary of one suite (DESIGN.md §5d).
+
+    ``completed + skipped_equivalent + skipped_unsat + skipped_budget +
+    errored`` covers every derived target; ``degraded_targets`` names
+    the budget/error ones so callers can triage without scanning the
+    skip list.
+    """
+
+    #: Targets that produced a dataset.
+    completed: int = 0
+    #: Targets proven equivalent without solving (structural proofs).
+    skipped_equivalent: int = 0
+    #: Targets whose constraints the solver proved UNSAT (equivalent).
+    skipped_unsat: int = 0
+    #: Targets abandoned after exhausting node/deadline budgets.
+    skipped_budget: int = 0
+    #: Targets abandoned after an unexpected exception was isolated.
+    errored: int = 0
+    #: Datasets that needed more than one solve attempt (ladder fired).
+    retried: int = 0
+    #: True when the process-pool fan-out fell back to sequential
+    #: solving (worker crash, timeout, or pool creation failure).
+    pool_degraded: bool = False
+    #: Wall-clock seconds by outcome category ("completed", "unsat",
+    #: "budget", "error").
+    time_by_reason: dict[str, float] = field(default_factory=dict)
+    #: ``target`` strings of the budget/error skips, in spec order.
+    degraded_targets: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing failed (equivalences are not failures)."""
+        return (
+            not self.skipped_budget
+            and not self.errored
+            and not self.pool_degraded
+        )
+
+    def summary(self) -> str:
+        parts = [
+            f"completed={self.completed}",
+            f"equivalent={self.skipped_equivalent + self.skipped_unsat}",
+        ]
+        if self.skipped_budget:
+            parts.append(f"budget={self.skipped_budget}")
+        if self.errored:
+            parts.append(f"errored={self.errored}")
+        if self.retried:
+            parts.append(f"retried={self.retried}")
+        if self.pool_degraded:
+            parts.append("pool-degraded")
+        text = "health: " + " ".join(parts)
+        if self.degraded_targets:
+            text += "\n  degraded: " + ", ".join(self.degraded_targets)
+        return text
 
 
 @dataclass
@@ -144,6 +239,8 @@ class TestSuite:
     #: assemble (model -> Database).  Stages running in worker processes
     #: report their in-worker time.
     stage_times: dict[str, float] = field(default_factory=dict)
+    #: Failure-semantics summary: what completed, what degraded and why.
+    health: SuiteHealth = field(default_factory=SuiteHealth)
 
     @property
     def databases(self) -> list[Database]:
@@ -188,8 +285,11 @@ def _original_spec(aq: AnalyzedQuery) -> DatasetSpec:
                 break
 
     def build(space: ProblemSpace) -> list[Formula]:
+        # Reads space.copies (== spec.copies normally) rather than the
+        # captured count, so the copies=1 degradation rung can replay
+        # this build over a smaller space.
         conds: list[Formula] = []
-        for copy in range(copies):
+        for copy in range(space.copies):
             for ec in space.aq.eq_classes:
                 conds.extend(space.eq_class_conditions(ec, copy=copy))
             for info in space.aq.selections + space.aq.other_joins:
@@ -199,14 +299,14 @@ def _original_spec(aq: AnalyzedQuery) -> DatasetSpec:
             from repro.solver import builders
 
             for attr in space.aq.group_by:
-                for copy in range(copies - 1):
+                for copy in range(space.copies - 1):
                     conds.append(
                         builders.eq(
                             space.attr_var(attr, copy),
                             space.attr_var(attr, copy + 1),
                         )
                     )
-            forced = satisfy_all(space, copies)
+            forced = satisfy_all(space, space.copies)
             if forced is not None:
                 conds.extend(forced)
         return conds
@@ -225,6 +325,17 @@ def _original_spec(aq: AnalyzedQuery) -> DatasetSpec:
 #: neither analysis nor decorrelation mutates one — so a single parse can
 #: serve every generator and schema variant that sees the same SQL text.
 _PARSE_CACHE: dict[str, Query] = {}
+
+
+def _fault_hooks_enabled() -> bool:
+    """Cheap per-attempt gate for the test-only fault-injection hook.
+
+    Mirrors :mod:`repro.testing.faults` (FAULTS_ENV / LOG_ENV) without
+    importing it — the hook must cost two dict lookups when idle.
+    """
+    return bool(
+        os.environ.get("XDATA_FAULTS") or os.environ.get("XDATA_FAULTS_LOG")
+    )
 
 
 def _parse_cached(query: str) -> Query:
@@ -268,7 +379,13 @@ class XDataGenerator:
         analyze_time = time.perf_counter() - start
         sql = query if isinstance(query, str) else str(parsed)
 
+        suite_deadline = (
+            start + self.config.suite_deadline_s
+            if self.config.suite_deadline_s is not None
+            else None
+        )
         results: list[SpecResult]
+        pool_degraded = False
         use_pool = False
         if self.config.workers > 1 and len(specs) > 1:
             from repro.core.parallel import effective_workers
@@ -277,25 +394,104 @@ class XDataGenerator:
         if use_pool:
             from repro.core.parallel import solve_specs_parallel
 
-            results = solve_specs_parallel(
-                self.schema, sql, self.config, len(specs)
+            pool_deadline = suite_deadline
+            if self.config.pool_timeout_s is not None:
+                stamp = time.perf_counter() + self.config.pool_timeout_s
+                pool_deadline = (
+                    stamp if pool_deadline is None
+                    else min(pool_deadline, stamp)
+                )
+            outcome = solve_specs_parallel(
+                self.schema, sql, self.config, len(specs),
+                deadline=pool_deadline,
             )
+            pool_degraded = outcome.degraded
+            results = [
+                result
+                if result is not None
+                else SpecResult(
+                    None,
+                    SkippedTarget(
+                        spec.group, spec.target, "budget",
+                        detail="suite budget exhausted before the spec "
+                        "was solved",
+                    ),
+                    0.0,
+                    attempts=0,
+                )
+                for spec, result in zip(specs, outcome.results)
+            ]
         else:
             caches: dict = {}
-            results = [self._run_spec(aq, spec, caches) for spec in specs]
+            results = []
+            for index, spec in enumerate(specs):
+                if (
+                    suite_deadline is not None
+                    and time.perf_counter() > suite_deadline
+                ):
+                    results.append(
+                        SpecResult(
+                            None,
+                            SkippedTarget(
+                                spec.group, spec.target, "budget",
+                                detail="suite deadline exceeded",
+                            ),
+                            0.0,
+                            attempts=0,
+                        )
+                    )
+                    continue
+                results.append(
+                    self._run_spec(
+                        aq, spec, caches, spec_index=index,
+                        suite_deadline=suite_deadline,
+                    )
+                )
 
         datasets: list[GeneratedDataset] = []
         solve_time = 0.0
         stage_times = {name: 0.0 for name in STAGES}
         stage_times["analyze"] = analyze_time
+        health = SuiteHealth(pool_degraded=pool_degraded)
+        health.skipped_equivalent = len(skipped)
+        time_by = health.time_by_reason
         for result in results:
             solve_time += result.solve_time
             for name, spent in result.stage_times.items():
                 stage_times[name] = stage_times.get(name, 0.0) + spent
             if result.dataset is not None:
                 datasets.append(result.dataset)
+                health.completed += 1
+                if result.attempts > 1:
+                    health.retried += 1
+                time_by["completed"] = (
+                    time_by.get("completed", 0.0) + result.solve_time
+                )
             elif result.skipped is not None:
-                skipped.append(result.skipped)
+                skip = result.skipped
+                skipped.append(skip)
+                if skip.reason == "budget":
+                    health.skipped_budget += 1
+                    category = "budget"
+                elif skip.reason.startswith("error:"):
+                    health.errored += 1
+                    category = "error"
+                elif skip.reason == "unsat":
+                    health.skipped_unsat += 1
+                    category = "unsat"
+                else:
+                    health.skipped_equivalent += 1
+                    category = "equivalent"
+                time_by[category] = time_by.get(category, 0.0) + skip.elapsed
+                if skip.is_degraded:
+                    health.degraded_targets.append(skip.target)
+                    if self.config.fail_fast:
+                        raise GenerationError(
+                            f"fail-fast: {skip.target} degraded "
+                            f"({skip.reason}"
+                            + (f": {skip.detail}" if skip.detail else "")
+                            + ")"
+                        )
         elapsed = time.perf_counter() - start
         from repro.core.assumptions import check_assumptions
 
@@ -303,6 +499,7 @@ class XDataGenerator:
             sql, aq, datasets, skipped, elapsed, solve_time,
             warnings=check_assumptions(aq),
             stage_times=stage_times,
+            health=health,
         )
 
     def _derive_specs(
@@ -367,10 +564,25 @@ class XDataGenerator:
 
     # -- internals --------------------------------------------------------------
 
-    def _attempts(self, spec: DatasetSpec):
-        yield None, spec.build
-        for note, build in spec.relaxations:
-            yield note, build
+    def _attempt_config(
+        self, node_scale: int, remaining_s: float | None
+    ) -> SearchConfig:
+        """The search config for one ladder attempt.
+
+        Scales the node budget (escalation rungs) and clamps the solver
+        deadline to the time left in the spec/suite budget.
+        """
+        base = self.config.solver
+        deadline = base.deadline_s
+        if remaining_s is not None:
+            deadline = (
+                remaining_s if deadline is None else min(deadline, remaining_s)
+            )
+        if node_scale == 1 and deadline == base.deadline_s:
+            return base
+        return dataclasses.replace(
+            base, node_limit=base.node_limit * node_scale, deadline_s=deadline
+        )
 
     def _db_constraints_for(self, space: ProblemSpace, db_cache: dict):
         """Database constraints, cached per tuple-space signature.
@@ -396,7 +608,11 @@ class XDataGenerator:
         return cached
 
     def _declared_space(
-        self, aq: AnalyzedQuery, spec: DatasetSpec, decl_cache: dict
+        self,
+        aq: AnalyzedQuery,
+        spec: DatasetSpec,
+        decl_cache: dict,
+        search_config: SearchConfig | None = None,
     ) -> ProblemSpace:
         """A fresh, fully-declared problem space for ``spec``.
 
@@ -409,13 +625,14 @@ class XDataGenerator:
         declaration order (occurrence slots first, then support slots)
         matches a from-scratch build, so interned codes are identical.
         """
+        search_config = search_config or self.config.solver
         support = (
             tuple(spec.support_columns)
             if self.config.use_fk_support_slots
             else ()
         )
         if not self.config.hot_path_caching:
-            solver = Solver(self.config.solver)
+            solver = Solver(search_config)
             space = ProblemSpace(aq, solver, copies=spec.copies)
             for table, column in support:
                 add_fk_support_slots(space, table, column)
@@ -424,11 +641,11 @@ class XDataGenerator:
         key = (spec.copies, support)
         snap = decl_cache.get(key)
         if snap is not None:
-            return ProblemSpace.restore(aq, snap, self.config.solver)
+            return ProblemSpace.restore(aq, snap, search_config)
         base_key = (spec.copies, ())
         base = decl_cache.get(base_key)
         if base is None:
-            solver = Solver(self.config.solver)
+            solver = Solver(search_config)
             # Sibling base builds (other ``copies`` shapes) declare the
             # same schema-wide value set in the same first-occurrence
             # order, so they replay the first base's warm symbol table
@@ -443,7 +660,7 @@ class XDataGenerator:
             decl_cache[base_key] = base
             if warm is None:
                 decl_cache["__warm_symbols__"] = base.symbols
-        space = ProblemSpace.restore(aq, base, self.config.solver)
+        space = ProblemSpace.restore(aq, base, search_config)
         if support:
             for table, column in support:
                 add_fk_support_slots(space, table, column)
@@ -452,41 +669,121 @@ class XDataGenerator:
         return space
 
     def _run_spec(
-        self, aq: AnalyzedQuery, spec: DatasetSpec, caches: dict | None = None
+        self,
+        aq: AnalyzedQuery,
+        spec: DatasetSpec,
+        caches: dict | None = None,
+        spec_index: int | None = None,
+        suite_deadline: float | None = None,
     ) -> SpecResult:
+        """Solve one spec through the retry ladder (DESIGN.md §5d).
+
+        No failure escapes unless ``fail_fast`` is set: budget overruns
+        and unexpected exceptions become :class:`SkippedTarget` reasons
+        ``"budget"`` / ``"error:<Type>"``, distinct from ``"unsat"``.
+        The ladder: primary build → primary with escalated node budgets
+        (only after a budget trip — UNSAT is definitive) → the spec's
+        relaxations → a best-effort ``copies=1`` degradation (failures
+        only, never after a clean UNSAT).
+        """
         if caches is None:
             caches = {}
         db_cache = caches.setdefault("db", {})
         decl_cache = caches.setdefault("decl", {})
+        config = self.config
+        started = time.perf_counter()
+        deadline = (
+            started + config.spec_deadline_s
+            if config.spec_deadline_s is not None
+            else None
+        )
+        if suite_deadline is not None:
+            deadline = (
+                suite_deadline if deadline is None
+                else min(deadline, suite_deadline)
+            )
+
         solve_time = 0.0
         stage = {"build": 0.0, "preprocess": 0.0, "search": 0.0, "assemble": 0.0}
-        for note, build in self._attempts(spec):
+        attempts = 0
+        budget_trips = 0
+        budget_detail = ""
+        first_error: tuple[str, str] | None = None
+        inject = spec_index is not None and _fault_hooks_enabled()
+
+        def tally(space) -> SolveStats | None:
+            nonlocal solve_time
+            stats = space.solver.last_stats if space is not None else None
+            if stats is None:
+                return None
+            solve_time += stats.elapsed
+            stage["preprocess"] += stats.preprocess_time
+            stage["search"] += stats.search_time
+            return stats
+
+        def attempt(rung_spec, build, note, node_scale):
+            """One build through the input options.
+
+            Returns a :class:`SpecResult` on SAT, else the rung outcome
+            code: ``'unsat'`` | ``'budget'`` | ``'error'``.
+            """
+            nonlocal attempts, budget_trips, budget_detail, first_error
+            outcome = "unsat"
             for use_input in self._input_options():
-                build_start = time.perf_counter()
-                space = self._declared_space(aq, spec, decl_cache)
-                solver = space.solver
-                solver.add_all(build(space))
-                self._apply_null_tests(aq, space, spec)
-                solver.add_all(self._db_constraints_for(space, db_cache))
-                if use_input:
-                    solver.add_all(
-                        input_constraints(
-                            space, self.config.input_db, self.config.input_mode
-                        )
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        budget_trips += 1
+                        budget_detail = budget_detail or "deadline exhausted"
+                        return "budget"
+                attempts += 1
+                space = None
+                try:
+                    build_start = time.perf_counter()
+                    space = self._declared_space(
+                        aq, rung_spec, decl_cache,
+                        self._attempt_config(node_scale, remaining),
                     )
-                stage["build"] += time.perf_counter() - build_start
-                model = solver.solve(unfold=self.config.unfold)
-                stats = solver.last_stats
-                solve_time += stats.elapsed
-                stage["preprocess"] += stats.preprocess_time
-                stage["search"] += stats.search_time
+                    solver = space.solver
+                    solver.add_all(build(space))
+                    self._apply_null_tests(aq, space, rung_spec)
+                    solver.add_all(self._db_constraints_for(space, db_cache))
+                    if use_input:
+                        solver.add_all(
+                            input_constraints(
+                                space, config.input_db, config.input_mode
+                            )
+                        )
+                    stage["build"] += time.perf_counter() - build_start
+                    if inject:
+                        from repro.testing import faults
+
+                        faults.fire(spec_index)
+                    model = solver.solve(unfold=config.unfold)
+                except SolverLimitError as exc:
+                    tally(space)
+                    budget_trips += 1
+                    budget_detail = budget_detail or str(exc)
+                    outcome = "budget"
+                    continue
+                except Exception as exc:  # failure isolation (§5d)
+                    if config.fail_fast:
+                        raise
+                    tally(space)
+                    if first_error is None:
+                        first_error = (type(exc).__name__, str(exc))
+                    if outcome != "budget":
+                        outcome = "error"
+                    continue
+                stats = tally(space)
                 if model is None:
                     continue
                 assemble_start = time.perf_counter()
                 db = assemble_dataset(space, model)
                 stage["assemble"] += time.perf_counter() - assemble_start
                 trace = None
-                if self.config.trace_constraints:
+                if config.trace_constraints:
                     from repro.solver.cvcformat import assertions
 
                     trace = assertions(solver.formulas)
@@ -500,14 +797,60 @@ class XDataGenerator:
                         relaxation=note,
                         used_input_db=use_input,
                         constraints_cvc=trace,
+                        attempts=attempts,
                     ),
                     None,
                     solve_time,
                     stage,
+                    attempts=attempts,
                 )
+            return outcome
+
+        # Rung 1: the primary build.
+        result = attempt(spec, spec.build, None, 1)
+        # Rung 2: escalate the node budget while budget is what failed.
+        if result == "budget":
+            for step in range(1, config.retries + 1):
+                result = attempt(
+                    spec, spec.build, None, config.retry_node_factor ** step
+                )
+                if result != "budget":
+                    break
+        # Rung 3: the spec's relaxations (Algorithm 4's drop loop).
+        if not isinstance(result, SpecResult):
+            for note, build in spec.relaxations:
+                result = attempt(spec, build, note, 1)
+                if isinstance(result, SpecResult):
+                    break
+        # Rung 4: shrink to one tuple-set copy.  Failure recovery only:
+        # a clean UNSAT is an equivalence proof and must stand.
+        if (
+            not isinstance(result, SpecResult)
+            and config.retry_shrink_copies
+            and spec.copies > 1
+            and (budget_trips or first_error is not None)
+        ):
+            shrunk = dataclasses.replace(spec, copies=1)
+            result = attempt(shrunk, spec.build, "degraded to copies=1", 1)
+        if isinstance(result, SpecResult):
+            return result
+
+        if budget_trips:
+            reason, detail = "budget", budget_detail
+        elif first_error is not None:
+            reason = f"error:{first_error[0]}"
+            detail = first_error[1]
+        else:
+            reason, detail = "unsat", ""
         return SpecResult(
-            None, SkippedTarget(spec.group, spec.target, "unsat"),
-            solve_time, stage,
+            None,
+            SkippedTarget(
+                spec.group, spec.target, reason, detail=detail,
+                elapsed=time.perf_counter() - started, attempts=attempts,
+            ),
+            solve_time,
+            stage,
+            attempts=attempts,
         )
 
     def _apply_null_tests(self, aq, space, spec) -> None:

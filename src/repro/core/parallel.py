@@ -28,9 +28,26 @@ parent process: pool start-up (fork + pipe setup) costs tens of
 milliseconds, comparable to a whole solve for small queries, so paying
 it once per process instead of once per ``generate()`` call is what
 makes spec-level parallelism profitable for workload-sized batches.
-Pool failures (no fork support, broken workers) degrade to an in-process
-sequential run — parallelism is a throughput lever, never a correctness
-requirement.
+
+Failure isolation (DESIGN.md §5d).  Each item is submitted as its own
+future, so one poisoned task cannot take a whole ``map`` batch down
+with it:
+
+* task-level exceptions are captured *inside* the worker into picklable
+  results (an error :class:`SkippedTarget` for specs, a
+  :class:`FailedSuite` for whole queries) unless ``config.fail_fast``;
+* a worker crash (or pool-creation failure) breaks only the futures
+  without results; the batch emits a
+  :class:`~repro.errors.PoolDegradedWarning`, marks itself degraded and
+  resumes **only the unfinished indices** sequentially in the parent —
+  completed results are never re-solved;
+* an optional deadline bounds every wait, so a hung worker degrades the
+  run instead of hanging it (the hung process is abandoned with the
+  discarded pool; specs still unfinished when the deadline passes come
+  back as ``None`` for the caller to budget-skip).
+
+Degradation is loud but lossless — parallelism is a throughput lever,
+never a correctness requirement.
 """
 
 from __future__ import annotations
@@ -39,9 +56,14 @@ import dataclasses
 import functools
 import itertools
 import os
+import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 
+from repro.errors import PoolDegradedWarning
 from repro.schema.catalog import Schema
 
 
@@ -87,8 +109,10 @@ def _get_pool(workers: int) -> ProcessPoolExecutor:
     return _POOL
 
 
-def _discard_pool() -> None:
+def _discard_pool(cancel: bool = False) -> None:
     global _POOL, _POOL_WORKERS
+    if _POOL is not None and cancel:
+        _POOL.shutdown(wait=False, cancel_futures=True)
     _POOL = None
     _POOL_WORKERS = 0
 
@@ -99,6 +123,14 @@ def shutdown_pool() -> None:
     if _POOL is not None:
         _POOL.shutdown(wait=True)
     _discard_pool()
+
+
+def _warn_degraded(detail: str) -> None:
+    warnings.warn(
+        f"process-pool fan-out degraded to sequential execution: {detail}",
+        PoolDegradedWarning,
+        stacklevel=3,
+    )
 
 
 def _worker_state(token: int, payload: tuple) -> dict:
@@ -114,6 +146,40 @@ def _worker_state(token: int, payload: tuple) -> dict:
 def _sequential_config(config):
     """The config a worker runs with: same semantics, no nested pools."""
     return dataclasses.replace(config, workers=1)
+
+
+@dataclass
+class BatchOutcome:
+    """One batched dispatch: per-item results plus degradation telemetry.
+
+    ``results[i]`` is ``None`` only when the batch deadline expired
+    before item ``i`` was solved anywhere.  ``resumed`` lists the
+    indices re-run sequentially in the parent after a pool failure —
+    by construction disjoint from the indices whose pooled results
+    arrived, which are never re-solved.
+    """
+
+    results: list
+    degraded: bool = False
+    resumed: list[int] = field(default_factory=list)
+
+
+@dataclass
+class FailedSuite:
+    """Picklable per-query failure marker (suite-level fan-out).
+
+    Returned in place of a :class:`TestSuite` when a worker's
+    ``generate()`` raised and ``config.fail_fast`` was off; the workload
+    layer turns it into a per-query error entry.
+    """
+
+    sql: str
+    error_type: str
+    message: str
+
+    @property
+    def error(self) -> str:
+        return f"{self.error_type}: {self.message}"
 
 
 def _derived_spec_state(state: dict):
@@ -140,9 +206,36 @@ def _derived_spec_state(state: dict):
 
 
 def _solve_spec_task(token: int, payload: tuple, spec_index: int):
+    """Worker-side spec solve; never lets an exception poison the batch.
+
+    ``_run_spec`` already isolates solve-time failures; this guard
+    covers everything outside it (re-parse, re-analysis, spec
+    derivation), which would otherwise surface as a future exception
+    and be indistinguishable from a pool failure.
+    """
+    from repro.core.generator import SpecResult
+    from repro.core.spec import SkippedTarget
+
     state = _worker_state(token, payload)
-    generator, aq, specs, caches = _derived_spec_state(state)
-    return generator._run_spec(aq, specs[spec_index], caches)
+    try:
+        generator, aq, specs, caches = _derived_spec_state(state)
+        return generator._run_spec(
+            aq, specs[spec_index], caches, spec_index=spec_index
+        )
+    except Exception as exc:
+        if state["payload"][1].fail_fast:
+            raise
+        return SpecResult(
+            None,
+            SkippedTarget(
+                "pipeline",
+                f"spec[{spec_index}]",
+                f"error:{type(exc).__name__}",
+                detail=str(exc),
+            ),
+            0.0,
+            attempts=0,
+        )
 
 
 def _generate_suite_task(token: int, payload: tuple, sql: str):
@@ -154,39 +247,103 @@ def _generate_suite_task(token: int, payload: tuple, sql: str):
         schema, config = state["payload"]
         generator = XDataGenerator(schema, config)
         state["derived"]["generator"] = generator
-    return generator.generate(sql)
+    try:
+        return generator.generate(sql)
+    except Exception as exc:
+        if generator.config.fail_fast:
+            raise
+        return FailedSuite(sql, type(exc).__name__, str(exc))
 
 
-def _chunksize(tasks: int, workers: int) -> int:
-    # Small enough to balance load, large enough to amortise IPC.
-    return max(1, tasks // (workers * 4))
+def _run_batch(
+    task, args: list, pool_size: int, deadline: float | None = None
+) -> BatchOutcome:
+    """Run ``task(arg)`` for every arg, pooled, with failure isolation.
+
+    Each item is its own future: a crash or timeout loses only the
+    unfinished items, which are resumed sequentially in the parent
+    (unless the deadline has passed — those stay ``None``).
+    """
+    count = len(args)
+    outcome = BatchOutcome(results=[None] * count)
+
+    def expired() -> bool:
+        return deadline is not None and time.perf_counter() > deadline
+
+    if pool_size <= 1:
+        for index, arg in enumerate(args):
+            if expired():
+                outcome.degraded = True
+                break
+            outcome.results[index] = task(arg)
+        return outcome
+
+    futures = None
+    try:
+        pool = _get_pool(pool_size)
+        futures = [pool.submit(task, arg) for arg in args]
+    except (OSError, BrokenProcessPool) as exc:
+        _warn_degraded(f"could not dispatch to the pool ({exc!r})")
+        _discard_pool()
+
+    broken = futures is None
+    timed_out = False
+    if futures is not None:
+        for index, future in enumerate(futures):
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.perf_counter())
+            try:
+                outcome.results[index] = future.result(timeout=remaining)
+            except _FuturesTimeout:
+                if not timed_out:
+                    _warn_degraded(
+                        "batch deadline expired while waiting on a worker; "
+                        "abandoning the pool"
+                    )
+                timed_out = True
+                # Keep scanning with zero timeout: later futures that
+                # already finished still surface their results.
+            except (OSError, BrokenProcessPool) as exc:
+                if not broken:
+                    _warn_degraded(f"worker pool broke mid-batch ({exc!r})")
+                broken = True
+                # Keep scanning: futures completed before the break
+                # still hold results and must not be re-solved.
+        if timed_out or broken:
+            _discard_pool(cancel=True)
+
+    if broken or timed_out:
+        outcome.degraded = True
+        for index, arg in enumerate(args):
+            if outcome.results[index] is not None or expired():
+                continue
+            outcome.results[index] = task(arg)
+            outcome.resumed.append(index)
+    return outcome
 
 
 def solve_specs_parallel(
-    schema: Schema, sql: str, config, count: int, cap_to_cpus: bool = True
-):
+    schema: Schema,
+    sql: str,
+    config,
+    count: int,
+    cap_to_cpus: bool = True,
+    deadline: float | None = None,
+) -> BatchOutcome:
     """Solve the ``count`` specs of ``sql`` across the shared process pool.
 
-    Returns one :class:`SpecResult` per spec, in spec order.  Falls back
-    to an in-process sequential run when the effective pool size is one
-    or no pool can be created.
+    Returns a :class:`BatchOutcome` whose ``results`` hold one
+    :class:`SpecResult` per spec, in spec order (``None`` for specs the
+    ``deadline`` — an absolute ``time.perf_counter()`` stamp — cut off).
+    Falls back to an in-process sequential run when the effective pool
+    size is one or no pool can be created.
     """
     workers = effective_workers(config.workers, count, cap_to_cpus)
     payload = (schema, _sequential_config(config), sql)
     token = next(_TOKENS)
     task = functools.partial(_solve_spec_task, token, payload)
-    if workers <= 1:
-        return [task(index) for index in range(count)]
-    try:
-        pool = _get_pool(workers)
-        return list(
-            pool.map(
-                task, range(count), chunksize=_chunksize(count, workers),
-            )
-        )
-    except (OSError, BrokenProcessPool):
-        _discard_pool()
-        return [task(index) for index in range(count)]
+    return _run_batch(task, list(range(count)), workers, deadline)
 
 
 def _generate_job_task(token: int, payload: tuple, job: tuple[int, str]):
@@ -200,23 +357,37 @@ def _generate_job_task(token: int, payload: tuple, job: tuple[int, str]):
         config, schemas = state["payload"]
         generator = XDataGenerator(schemas[schema_index], config)
         generators[schema_index] = generator
-    return generator.generate(sql)
+    try:
+        return generator.generate(sql)
+    except Exception as exc:
+        if generator.config.fail_fast:
+            raise
+        return FailedSuite(sql, type(exc).__name__, str(exc))
+
+
+def _flag_degraded_suites(results: list) -> None:
+    """Stamp pool degradation on every real suite of a degraded batch."""
+    for suite in results:
+        if suite is not None and not isinstance(suite, FailedSuite):
+            suite.health.pool_degraded = True
 
 
 def generate_jobs_parallel(
     jobs: list[tuple[Schema, str]], config, workers: int,
     cap_to_cpus: bool = True,
 ) -> list:
-    """One :class:`TestSuite` per ``(schema, sql)`` job, across the pool.
+    """One result per ``(schema, sql)`` job, across the shared pool.
 
     The flat-batch entry point for workload-scale fan-out (many queries
-    over many schema variants, as in a grading service): the whole batch
-    is dispatched through the shared pool in a single ``map`` call, so
-    pool and pickling overhead is paid per batch, not per query.  Schemas
-    are deduplicated (by identity) and shipped once in the task payload;
+    over many schema variants, as in a grading service).  Schemas are
+    deduplicated (by identity) and shipped once in the task payload;
     workers keep one generator per schema so declaration caches warm up
-    across the jobs they handle.  Results arrive in job order.  Falls
-    back to an in-process sequential run when no pool can be created.
+    across the jobs they handle.  Results arrive in job order; a
+    failing query yields a :class:`FailedSuite` (with
+    ``config.fail_fast`` it raises instead), and pool failures degrade
+    to a sequential resume of the unfinished jobs with a
+    :class:`PoolDegradedWarning` and ``health.pool_degraded`` set on
+    the batch's suites.
     """
     schemas: list[Schema] = []
     schema_index: dict[int, int] = {}
@@ -231,30 +402,25 @@ def generate_jobs_parallel(
     payload = (_sequential_config(config), tuple(schemas))
     token = next(_TOKENS)
     task = functools.partial(_generate_job_task, token, payload)
-    if pool_size <= 1:
-        return [task(job) for job in indexed_jobs]
-    # One chunk per worker: the batch is dispatched exactly once, so the
-    # payload (with its schema list) is pickled per worker, not per job.
-    chunk = -(-len(indexed_jobs) // pool_size)
-    try:
-        pool = _get_pool(pool_size)
-        return list(pool.map(task, indexed_jobs, chunksize=chunk))
-    except (OSError, BrokenProcessPool):
-        _discard_pool()
-        return [task(job) for job in indexed_jobs]
+    outcome = _run_batch(task, indexed_jobs, pool_size)
+    if outcome.degraded:
+        _flag_degraded_suites(outcome.results)
+    return outcome.results
 
 
 def generate_suites_parallel(
     schema: Schema, queries: dict[str, str], config, workers: int,
     cap_to_cpus: bool = True,
 ) -> dict:
-    """One :class:`TestSuite` per query, generated across the shared pool.
+    """One result per query, generated across the shared pool.
 
     Queries are independent generation problems; each worker runs the
     full sequential pipeline for the queries it is handed.  Results are
-    keyed and ordered like ``queries``.  Falls back to an in-process
-    sequential run when the effective pool size is one or no pool can be
-    created.
+    keyed and ordered like ``queries``; a failing query maps to a
+    :class:`FailedSuite` instead of poisoning the batch (with
+    ``config.fail_fast`` it raises).  Falls back — loudly, see
+    :class:`PoolDegradedWarning` — to an in-process sequential run when
+    the pool breaks, resuming only the queries without results.
     """
     names = list(queries)
     sqls = [queries[name] for name in names]
@@ -262,17 +428,7 @@ def generate_suites_parallel(
     payload = (schema, _sequential_config(config))
     token = next(_TOKENS)
     task = functools.partial(_generate_suite_task, token, payload)
-    if pool_size <= 1:
-        suites = [task(sql) for sql in sqls]
-        return dict(zip(names, suites))
-    try:
-        pool = _get_pool(pool_size)
-        suites = list(
-            pool.map(
-                task, sqls, chunksize=_chunksize(len(sqls), pool_size),
-            )
-        )
-    except (OSError, BrokenProcessPool):
-        _discard_pool()
-        suites = [task(sql) for sql in sqls]
-    return dict(zip(names, suites))
+    outcome = _run_batch(task, sqls, pool_size)
+    if outcome.degraded:
+        _flag_degraded_suites(outcome.results)
+    return dict(zip(names, outcome.results))

@@ -54,12 +54,37 @@ class DatasetSpec:
 class SkippedTarget:
     """A mutation group for which no dataset exists.
 
-    ``reason='structurally-equivalent'`` means the procedure proved the
-    group equivalent without calling the solver (Algorithm 2's empty-P
-    case); ``reason='unsat'`` means the solver found the constraints
-    inconsistent (e.g. a foreign key conflicting with a NOT EXISTS).
+    The ``reason`` taxonomy (see DESIGN.md §5d):
+
+    * ``'unsat'`` — the solver proved the constraints inconsistent (e.g.
+      a foreign key conflicting with a NOT EXISTS); the mutation group
+      is equivalent.  Not a failure.
+    * ``'budget'`` — every attempt on the retry ladder exhausted a node
+      or wall-clock budget; the group *may* be killable with more
+      effort.  A degradation, not an equivalence proof.
+    * ``'error:<TypeName>'`` — an unexpected exception escaped an
+      attempt; the pipeline isolated it instead of aborting the suite.
+    * anything else (e.g. ``'structurally-equivalent'`` or a free-text
+      explanation) — the deriving procedure proved the group equivalent
+      or out of scope without calling the solver.
+
+    Attributes:
+        detail: Human-readable elaboration of ``reason`` (the budget
+            that tripped, the error message, ...).
+        elapsed: Wall-clock seconds spent on this target before giving
+            up (0 for targets skipped without solving).
+        attempts: Solve attempts made before giving up (0 for targets
+            skipped without solving).
     """
 
     group: str
     target: str
     reason: str
+    detail: str = ""
+    elapsed: float = 0.0
+    attempts: int = 0
+
+    @property
+    def is_degraded(self) -> bool:
+        """True when the skip reflects a failure, not an equivalence."""
+        return self.reason == "budget" or self.reason.startswith("error:")

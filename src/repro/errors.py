@@ -94,8 +94,44 @@ class UnsatisfiableError(SolverError):
 
 
 class SolverLimitError(SolverError):
-    """Raised when the solver exceeds its configured search budget."""
+    """Raised when the solver exceeds its configured search budget.
+
+    Carries the budget structurally (not just in the message) so callers
+    can report effort and distinguish budget kinds:
+
+    Attributes:
+        kind: Which budget tripped — ``"nodes"`` (node limit),
+            ``"deadline"`` (wall-clock deadline), or ``"restarts"``
+            (lazy-instantiation restart cap).
+        nodes: Search nodes explored before the trip.
+        limit: The configured limit for ``kind`` (node count, seconds,
+            or restart count); ``None`` when unknown.
+        elapsed: Wall-clock seconds spent before the trip.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kind: str = "nodes",
+        nodes: int = 0,
+        limit=None,
+        elapsed: float = 0.0,
+    ):
+        super().__init__(message)
+        self.kind = kind
+        self.nodes = nodes
+        self.limit = limit
+        self.elapsed = elapsed
 
 
 class GenerationError(XDataError):
     """Raised when dataset generation fails for reasons other than UNSAT."""
+
+
+class PoolDegradedWarning(RuntimeWarning):
+    """Emitted when the process-pool fan-out degrades to a sequential run.
+
+    Degradation preserves results (parallelism is a throughput lever,
+    never a correctness requirement) but callers monitoring throughput —
+    or tests asserting that the pool actually ran — need the signal.
+    """

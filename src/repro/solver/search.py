@@ -40,6 +40,12 @@ class SearchConfig:
     """Search tuning knobs."""
 
     node_limit: int = 500_000
+    #: Wall-clock budget for one search run (preprocessing included),
+    #: in seconds; ``None`` disables the deadline.  Checked on entry to
+    #: the search and every :data:`DEADLINE_CHECK_NODES` nodes — a
+    #: deadline overrun raises :class:`SolverLimitError` with
+    #: ``kind="deadline"``.
+    deadline_s: float | None = None
     fresh_int_values: int = 8
     fresh_str_values: int = 8
     max_domain_size: int = 64
@@ -52,6 +58,11 @@ class SearchConfig:
     #: implementation's re-evaluation behaviour (benchmarks only; results
     #: are identical either way).
     hot_path: bool = True
+
+
+#: How often (in explored nodes) the search consults the wall clock when
+#: a deadline is configured.  Power of two: the check compiles to a mask.
+DEADLINE_CHECK_NODES = 256
 
 
 @dataclass
@@ -160,6 +171,7 @@ class GroundSearch:
         self._unsat = False
         self._members: dict[str, list[VarInfo]] | None = None
         self._touched: set[str] | None = None
+        self._deadline: float | None = None
 
     # -- preprocessing ------------------------------------------------------
 
@@ -514,6 +526,11 @@ class GroundSearch:
 
     def run(self) -> SearchOutcome:
         start = time.perf_counter()
+        self._deadline = (
+            start + self._config.deadline_s
+            if self._config.deadline_s is not None
+            else None
+        )
 
         def preprocess_only(model=None, **kw):
             elapsed = time.perf_counter() - start
@@ -625,6 +642,7 @@ class GroundSearch:
         assignment: dict[str, int] = {}
         nodes = 0
         limit = self._config.node_limit
+        deadline = self._deadline
 
         def harvest(formula: Formula, rep: str, out: list[Atom]) -> None:
             """Collect atoms worth steering ``rep`` by, context-sensitively.
@@ -758,7 +776,21 @@ class GroundSearch:
                 nodes += 1
                 if nodes > limit:
                     raise SolverLimitError(
-                        f"search exceeded {limit} nodes"
+                        f"search exceeded {limit} nodes",
+                        kind="nodes", nodes=nodes, limit=limit,
+                        elapsed=time.perf_counter() - start,
+                    )
+                if (
+                    deadline is not None
+                    and not (nodes & (DEADLINE_CHECK_NODES - 1))
+                    and time.perf_counter() > deadline
+                ):
+                    raise SolverLimitError(
+                        f"search exceeded the "
+                        f"{self._config.deadline_s}s deadline",
+                        kind="deadline", nodes=nodes,
+                        limit=self._config.deadline_s,
+                        elapsed=time.perf_counter() - start,
                     )
                 assignment[rep] = value
                 failed_index = -1
@@ -791,6 +823,15 @@ class GroundSearch:
 
         search_start = time.perf_counter()
         preprocess_elapsed = search_start - start
+        if self._deadline is not None and search_start > self._deadline:
+            # Preprocessing alone blew the budget; the search would only
+            # discover it DEADLINE_CHECK_NODES nodes later.
+            raise SolverLimitError(
+                f"preprocessing exceeded the "
+                f"{self._config.deadline_s}s deadline",
+                kind="deadline", nodes=0, limit=self._config.deadline_s,
+                elapsed=preprocess_elapsed,
+            )
         found = backtrack(0) is True
         elapsed = time.perf_counter() - start
         search_elapsed = elapsed - preprocess_elapsed

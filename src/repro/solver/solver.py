@@ -39,6 +39,15 @@ class SolveStats:
     #: vs. the backtracking search.  Summed over restarts in lazy mode.
     preprocess_time: float = 0.0
     search_time: float = 0.0
+    #: Solver effort bookkeeping: the configured budgets and whether one
+    #: tripped.  ``limit_hit`` is ``None`` on a completed solve, else the
+    #: :attr:`SolverLimitError.kind` that aborted it (``"nodes"``,
+    #: ``"deadline"`` or ``"restarts"``) — stats are recorded *before*
+    #: the error propagates, so callers that catch it still see the
+    #: effort spent.
+    node_limit: int = 0
+    deadline_s: float | None = None
+    limit_hit: str | None = None
 
 
 def unfold_formula(formula: Formula, cache: bool = True) -> Formula:
@@ -239,6 +248,27 @@ class Solver:
                 assert the violated instances, and restart — reproducing
                 the paper's slow "without unfolding" configuration.
         """
+        from repro.errors import SolverLimitError
+
+        try:
+            return self._solve(unfold)
+        except SolverLimitError as exc:
+            # Record the effort spent before the budget tripped so a
+            # caller that catches the overrun still gets statistics.
+            self.last_stats = SolveStats(
+                satisfiable=False,
+                nodes=exc.nodes,
+                elapsed=exc.elapsed,
+                classes=0,
+                constraints=len(self._formulas),
+                unfolded=unfold,
+                node_limit=self.config.node_limit,
+                deadline_s=self.config.deadline_s,
+                limit_hit=exc.kind,
+            )
+            raise
+
+    def _solve(self, unfold: bool) -> Model | None:
         if unfold:
             memo = self.config.hot_path
             formulas = [unfold_formula(f, cache=memo) for f in self._formulas]
@@ -257,6 +287,8 @@ class Solver:
                 unfolded=True,
                 preprocess_time=outcome.preprocess_elapsed,
                 search_time=outcome.search_elapsed,
+                node_limit=self.config.node_limit,
+                deadline_s=self.config.deadline_s,
             )
             return outcome.model
         return self._solve_lazy()
@@ -298,7 +330,9 @@ class Solver:
             iterations += 1
             if iterations > instance_budget:
                 raise SolverLimitError(
-                    f"lazy instantiation exceeded {instance_budget} restarts"
+                    f"lazy instantiation exceeded {instance_budget} restarts",
+                    kind="restarts", nodes=nodes, limit=instance_budget,
+                    elapsed=elapsed,
                 )
             try:
                 outcome = GroundSearch(
@@ -319,6 +353,8 @@ class Solver:
                     False, nodes, elapsed, outcome.classes,
                     outcome.constraints, unfolded=False, iterations=iterations,
                     preprocess_time=preprocess_time, search_time=search_time,
+                    node_limit=self.config.node_limit,
+                    deadline_s=self.config.deadline_s,
                 )
                 return None
             assignment = outcome.model.assignment
@@ -336,6 +372,8 @@ class Solver:
                     True, nodes, elapsed, outcome.classes,
                     outcome.constraints, unfolded=False, iterations=iterations,
                     preprocess_time=preprocess_time, search_time=search_time,
+                    node_limit=self.config.node_limit,
+                    deadline_s=self.config.deadline_s,
                 )
                 return outcome.model
             learned.extend(new_instances)

@@ -4,7 +4,7 @@ from repro.testing.equivalence import classify_survivors, random_database
 from repro.testing.killcheck import KillReport, evaluate_suite, results_differ
 from repro.testing.minimize import MinimizationResult, minimize_suite
 from repro.testing.report import format_kill_report, format_suite
-from repro.testing.workload import WorkloadSuite, generate_workload
+from repro.testing.workload import WorkloadEntry, WorkloadSuite, generate_workload
 
 __all__ = [
     "evaluate_suite",
@@ -18,4 +18,5 @@ __all__ = [
     "MinimizationResult",
     "generate_workload",
     "WorkloadSuite",
+    "WorkloadEntry",
 ]

@@ -32,12 +32,16 @@ def format_suite(suite: TestSuite) -> str:
         f"skipped groups: {len(suite.skipped)}",
         f"generation time: {suite.elapsed:.3f}s "
         f"(solver: {suite.solve_time:.3f}s)",
+        suite.health.summary(),
     ]
     for dataset in suite.datasets:
         rows = dataset.db.total_rows()
         lines.append(f"  [{dataset.group}] {dataset.target} ({rows} rows)")
     for skip in suite.skipped:
-        lines.append(f"  [skipped:{skip.reason}] {skip.target}")
+        line = f"  [skipped:{skip.reason}] {skip.target}"
+        if skip.detail:
+            line += f" — {skip.detail}"
+        lines.append(line)
     for warning in suite.warnings:
         lines.append(f"  warning {warning}")
     return "\n".join(lines)

@@ -13,6 +13,7 @@ killed by the workload datasets.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.core.generator import GenConfig, GeneratedDataset, TestSuite, XDataGenerator
@@ -26,14 +27,24 @@ from repro.testing.killcheck import result_signature
 
 @dataclass
 class WorkloadEntry:
-    """Per-query results inside a workload."""
+    """Per-query results inside a workload.
+
+    A query whose generation failed outright has ``error`` set and no
+    suite or mutation space; it contributes nothing to the kill matrix
+    but does not abort the workload (DESIGN.md §5d).
+    """
 
     name: str
     sql: str
-    suite: TestSuite
-    space: MutationSpace
+    suite: TestSuite | None
+    space: MutationSpace | None
     killed: int = 0
     total: int = 0
+    error: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
 
 @dataclass
@@ -50,16 +61,26 @@ class WorkloadSuite:
         return [d.db for d in self.datasets]
 
     def summary(self) -> str:
+        generated = sum(
+            len(e.suite.datasets) for e in self.entries if e.suite is not None
+        )
         lines = [
             f"workload: {len(self.entries)} queries, "
             f"{len(self.datasets)} combined datasets "
-            f"(from {sum(len(e.suite.datasets) for e in self.entries)} generated)"
+            f"(from {generated} generated)"
         ]
         for entry in self.entries:
-            lines.append(
-                f"  {entry.name}: kills {entry.killed}/{entry.total} mutants"
-            )
+            if entry.failed:
+                lines.append(f"  {entry.name}: FAILED ({entry.error})")
+            else:
+                lines.append(
+                    f"  {entry.name}: kills {entry.killed}/{entry.total} mutants"
+                )
         return "\n".join(lines)
+
+    @property
+    def failures(self) -> list[WorkloadEntry]:
+        return [entry for entry in self.entries if entry.failed]
 
 
 def generate_workload(
@@ -68,6 +89,7 @@ def generate_workload(
     config: GenConfig | None = None,
     minimize: bool = True,
     workers: int | None = None,
+    fail_fast: bool = False,
 ) -> WorkloadSuite:
     """Generate suites for every query and combine them.
 
@@ -83,27 +105,51 @@ def generate_workload(
             Defaults to ``config.workers``; 1 means sequential.  The
             combined suite is identical either way — results are merged
             in query order.
+        fail_fast: Re-raise the first per-query generation failure
+            instead of recording it as a failed entry and continuing
+            with the remaining queries (the default; see
+            :attr:`WorkloadEntry.error`).
     """
     config = config or GenConfig()
+    if fail_fast and not config.fail_fast:
+        config = dataclasses.replace(config, fail_fast=True)
+    fail_fast = fail_fast or config.fail_fast
     if workers is None:
         workers = config.workers
+
+    def failed_entry(name: str, sql: str, error: str) -> WorkloadEntry:
+        return WorkloadEntry(name, sql, None, None, error=error)
+
     entries: list[WorkloadEntry] = []
     if workers > 1 and len(queries) > 1:
-        from repro.core.parallel import generate_suites_parallel
+        from repro.core.parallel import FailedSuite, generate_suites_parallel
 
         suites = generate_suites_parallel(schema, queries, config, workers)
         for name, suite in suites.items():
+            if isinstance(suite, FailedSuite):
+                entries.append(failed_entry(name, queries[name], suite.error))
+                continue
             space = enumerate_mutants(suite.analyzed)
             entries.append(WorkloadEntry(name, queries[name], suite, space))
     else:
         generator = XDataGenerator(schema, config)
         for name, sql in queries.items():
-            suite = generator.generate(sql)
+            try:
+                suite = generator.generate(sql)
+            except Exception as exc:
+                if fail_fast:
+                    raise
+                entries.append(
+                    failed_entry(name, sql, f"{type(exc).__name__}: {exc}")
+                )
+                continue
             space = enumerate_mutants(suite.analyzed)
             entries.append(WorkloadEntry(name, sql, suite, space))
 
     all_datasets: list[tuple[int, int, GeneratedDataset]] = []
     for entry_index, entry in enumerate(entries):
+        if entry.failed:
+            continue
         for dataset_index, dataset in enumerate(entry.suite.datasets):
             all_datasets.append((entry_index, dataset_index, dataset))
 
@@ -111,6 +157,8 @@ def generate_workload(
     kills: list[set[tuple[int, int]]] = [set() for _ in all_datasets]
     killable: set[tuple[int, int]] = set()
     for entry_index, entry in enumerate(entries):
+        if entry.failed:
+            continue
         plan = compile_query(entry.space.analyzed.query)
         originals = [
             result_signature(execute_plan(plan, dataset.db))
