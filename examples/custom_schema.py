@@ -9,7 +9,7 @@ pair of aggregate operators disagrees.
 Run:  python examples/custom_schema.py
 """
 
-from repro import XDataGenerator, enumerate_mutants, evaluate_suite, parse_ddl
+import repro
 from repro.testing import classify_survivors, format_kill_report
 
 DDL = """
@@ -44,26 +44,20 @@ UNPAID_CHECK = (
 
 
 def main():
-    schema = parse_ddl(DDL)
-    generator = XDataGenerator(schema)
-
+    # The facade accepts raw DDL text directly — no parse_ddl needed.
     print("=== revenue-by-region (joins + SUM) ===")
-    suite = generator.generate(REVENUE_BY_REGION)
-    for dataset in suite.datasets:
+    scored = repro.evaluate(DDL, REVENUE_BY_REGION)
+    for dataset in scored.run.datasets:
         print(f"\n[{dataset.group}] {dataset.purpose}")
         print(dataset.db.pretty())
-    space = enumerate_mutants(suite.analyzed)
-    report = evaluate_suite(space, suite.databases)
     print()
-    print(format_kill_report(report, show_survivors=False))
-    classification = classify_survivors(space, report.survivors)
+    print(format_kill_report(scored.report, show_survivors=False))
+    classification = classify_survivors(scored.space, scored.survivors)
     print(f"missed mutants: {len(classification.missed)} (should be 0)")
 
     print("\n=== unpaid-order check (query already has an outer join) ===")
-    suite = generator.generate(UNPAID_CHECK)
-    space = enumerate_mutants(suite.analyzed)
-    report = evaluate_suite(space, suite.databases)
-    print(format_kill_report(report))
+    scored = repro.evaluate(DDL, UNPAID_CHECK)
+    print(format_kill_report(scored.report))
     print("(a dataset with an order that has no payment distinguishes the")
     print(" outer join from its inner-join mutant)")
 

@@ -15,7 +15,8 @@ the submissions.
 Run:  python examples/grading_assistant.py
 """
 
-from repro import XDataGenerator, parse_query
+import repro
+from repro import parse_query
 from repro.datasets import schema_with_fks, university_sample_database
 from repro.engine import execute_query
 from repro.testing.killcheck import result_signature
@@ -58,16 +59,14 @@ SUBMISSIONS = {
 
 def main():
     schema = schema_with_fks(["teaches.id", "teaches.course_id"])
-    # Use the sample database's values so the test data reads naturally.
-    generator = XDataGenerator(schema)
-    suite = generator.generate(CORRECT)
-    print(f"generated {len(suite.datasets)} datasets from the model answer\n")
+    run = repro.generate(schema, CORRECT)
+    print(f"generated {len(run.datasets)} datasets from the model answer\n")
 
     correct_query = parse_query(CORRECT)
     for student, sql in SUBMISSIONS.items():
         submitted = parse_query(sql)
         failures = []
-        for index, dataset in enumerate(suite.datasets):
+        for index, dataset in enumerate(run.datasets):
             expected = result_signature(execute_query(correct_query, dataset.db))
             got = result_signature(execute_query(submitted, dataset.db))
             if expected != got:

@@ -16,7 +16,8 @@ Reproduces, executable end to end:
 Run:  python examples/paper_walkthrough.py
 """
 
-from repro import GenConfig, XDataGenerator, enumerate_mutants, evaluate_suite
+import repro
+from repro import GenConfig
 from repro.datasets import schema_with_fks
 
 FIG1_QUERY = (
@@ -29,8 +30,8 @@ def example_1():
     print("=" * 72)
     print("Example 1: the difference must reach the root")
     schema = schema_with_fks([])
-    suite = XDataGenerator(schema).generate(FIG1_QUERY)
-    dataset = next(d for d in suite.datasets if "nullify i.id" in d.target)
+    run = repro.generate(schema, FIG1_QUERY)
+    dataset = next(d for d in run.datasets if "nullify i.id" in d.target)
     print(dataset.db.pretty())
     teaches = dataset.db.relation("teaches").rows[0]
     courses = {row[0] for row in dataset.db.relation("course").rows}
@@ -49,9 +50,9 @@ def example_2():
         "SELECT * FROM instructor i, teaches t "
         "WHERE i.id = t.id AND i.dept_name = 'CS'"
     )
-    suite = XDataGenerator(schema).generate(sql)
+    run = repro.generate(schema, sql)
     violated = next(
-        d for d in suite.datasets if "force <" in d.target
+        d for d in run.datasets if "force <" in d.target
     )
     print(violated.db.pretty())
     print(
@@ -65,11 +66,9 @@ def example_3():
     print("=" * 72)
     print("Example 3: the equivalent mutation survives — correctly")
     schema = schema_with_fks([])
-    suite = XDataGenerator(schema).generate(FIG1_QUERY)
-    space = enumerate_mutants(suite.analyzed)
-    report = evaluate_suite(space, suite.databases)
+    scored = repro.evaluate(schema, FIG1_QUERY)
     survivors = [
-        m for m in report.survivors
+        m for m in scored.survivors
         if "LEFT" in m.description and "[i]" in m.description
     ]
     for mutant in survivors:
@@ -89,13 +88,13 @@ def figure_2():
         "SELECT * FROM teaches t, course c, prereq p "
         "WHERE t.course_id = c.course_id AND c.course_id = p.course_id"
     )
-    suite = XDataGenerator(schema).generate(sql)
-    space = enumerate_mutants(suite.analyzed)
+    scored = repro.evaluate(schema, sql)
+    space = scored.space
     reordered = [
         m for m in space.mutants
         if "[p]" in m.description and "[t]" in m.description
     ]
-    report = evaluate_suite(space, suite.databases)
+    report = scored.report
     print(f"join-order space contains {len(space.mutants)} mutants, "
           f"including {len(reordered)} on the (t ? p) tree the query "
           f"never wrote")
@@ -113,10 +112,12 @@ def constraints_trace():
     print("Section V-A: the constraints behind one dataset, CVC3-style")
     schema = schema_with_fks(["teaches.id"])
     config = GenConfig(trace_constraints=True)
-    suite = XDataGenerator(schema, config).generate(
-        "SELECT * FROM instructor i, teaches t WHERE i.id = t.id"
+    run = repro.generate(
+        schema,
+        "SELECT * FROM instructor i, teaches t WHERE i.id = t.id",
+        config=config,
     )
-    dataset = next(d for d in suite.datasets if d.group == "eqclass")
+    dataset = next(d for d in run.datasets if d.group == "eqclass")
     print(dataset.purpose)
     print(dataset.constraints_cvc)
 

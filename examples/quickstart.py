@@ -9,7 +9,7 @@ kill, and the effect of foreign keys on both.
 Run:  python examples/quickstart.py
 """
 
-from repro import XDataGenerator, enumerate_mutants, evaluate_suite
+import repro
 from repro.datasets import schema_with_fks
 from repro.testing import classify_survivors, format_kill_report
 
@@ -22,12 +22,16 @@ QUERY = (
 def run(fk_names, label):
     print(f"=== {label} ===")
     schema = schema_with_fks(fk_names)
-    generator = XDataGenerator(schema)
-    suite = generator.generate(QUERY)
+    # One facade call generates the suite, enumerates the mutation
+    # space (every join tree derivable through equivalence classes —
+    # Fig. 2's point — each node flipped to an outer join) and scores
+    # the datasets against it.
+    scored = repro.evaluate(schema, QUERY)
+    suite = scored.run.suite
 
     print(f"query: {QUERY}")
     print(f"datasets generated: {suite.non_original_count()} (+1 for the original query)")
-    for dataset in suite.datasets:
+    for dataset in scored.run.datasets:
         print()
         print(f"--- [{dataset.group}] {dataset.purpose}")
         print(dataset.db.pretty())
@@ -36,16 +40,12 @@ def run(fk_names, label):
         print("    (nullifying a referenced key with its foreign keys is")
         print("     impossible: the mutation group is equivalent)")
 
-    # The mutation space: every join tree derivable through equivalence
-    # classes (Fig. 2's point), each node flipped to an outer join.
-    space = enumerate_mutants(suite.analyzed)
-    report = evaluate_suite(space, suite.databases)
     print()
-    print(format_kill_report(report, show_survivors=False))
+    print(format_kill_report(scored.report, show_survivors=False))
 
     # Every survivor should be an equivalent mutant; verify by
     # differential testing on random legal databases.
-    classification = classify_survivors(space, report.survivors)
+    classification = classify_survivors(scored.space, scored.survivors)
     print(
         f"survivors classified likely-equivalent: "
         f"{len(classification.likely_equivalent)}, "

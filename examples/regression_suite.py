@@ -10,7 +10,8 @@ ready to load into a scratch database for CI.
 Run:  python examples/regression_suite.py
 """
 
-from repro import GenConfig, generate_workload, to_insert_script
+import repro
+from repro import GenConfig, to_insert_script
 from repro.datasets import schema_with_fks, university_sample_database
 
 REPORT_QUERIES = {
@@ -39,8 +40,8 @@ def main():
     # One combined fixture set for the whole module: datasets generated
     # for one query often kill mutants of the others, so the workload
     # generator minimises across queries.
-    workload = generate_workload(
-        schema, REPORT_QUERIES, GenConfig(input_db=sample)
+    workload = repro.generate_workload(
+        schema, REPORT_QUERIES, config=GenConfig(input_db=sample)
     )
     print(workload.summary())
     print()

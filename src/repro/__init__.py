@@ -4,26 +4,30 @@ A from-scratch Python reproduction of *"Generating Test Data for Killing
 SQL Mutants: A Constraint-based Approach"* (Shah, Sudarshan et al., IIT
 Bombay; the extended version of the ICDE 2010 short paper "X-Data").
 
-Typical use::
+Typical use — the :mod:`repro.api` facade (DESIGN.md §5e)::
 
-    from repro import XDataGenerator, parse_ddl, enumerate_mutants, evaluate_suite
+    import repro
 
-    schema = parse_ddl(open("schema.sql").read())
-    generator = XDataGenerator(schema)
-    suite = generator.generate("SELECT * FROM r, s WHERE r.a = s.a")
-    for dataset in suite.datasets:
+    run = repro.generate(open("schema.sql").read(),
+                         "SELECT * FROM r, s WHERE r.a = s.a")
+    for dataset in run.datasets:
         print(dataset.pretty())
 
-    space = enumerate_mutants(suite.analyzed)
-    report = evaluate_suite(space, suite.databases)
-    print(f"killed {report.killed} of {report.total} mutants")
+    scored = repro.evaluate(schema, sql)
+    print(f"killed {scored.killed} of {scored.total} mutants")
+
+The building blocks (``XDataGenerator``, ``enumerate_mutants``,
+``evaluate_suite``, ...) stay exported for callers that need finer
+control over each pipeline stage.
 """
 
 from repro.baseline import ShortPaperGenerator
 from repro.core import (
     AnalyzedQuery,
+    Budgets,
     GenConfig,
     GeneratedDataset,
+    SuiteHealth,
     TestSuite,
     XDataGenerator,
     analyze_query,
@@ -41,14 +45,28 @@ from repro.testing import (
     evaluate_suite,
     format_kill_report,
     format_suite,
-    generate_workload,
+    format_trace,
     minimize_suite,
     random_database,
 )
 
+# The facade (last: it builds on everything above).  Its
+# generate_workload shadows repro.testing's — same signature, but it
+# also accepts raw DDL text for the schema.
+from repro import api
+from repro.api import Evaluation, Run, evaluate, generate, generate_workload
+
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
+    "generate",
+    "generate_workload",
+    "evaluate",
+    "Run",
+    "Evaluation",
+    "Budgets",
+    "SuiteHealth",
     "XDataGenerator",
     "GenConfig",
     "TestSuite",
@@ -74,10 +92,10 @@ __all__ = [
     "random_database",
     "format_kill_report",
     "format_suite",
+    "format_trace",
     "ShortPaperGenerator",
     "XDataError",
     "minimize_suite",
-    "generate_workload",
     "check_assumptions",
     "decorrelate",
     "to_insert_script",

@@ -1,0 +1,184 @@
+"""The stable programmatic facade (DESIGN.md §5e).
+
+Three call shapes cover the common workflows, each accepting a
+:class:`~repro.schema.catalog.Schema` or raw DDL text:
+
+* :func:`generate` — one query, one :class:`Run` (suite + trace +
+  metrics + health);
+* :func:`generate_workload` — many queries, one combined fixture set;
+* :func:`evaluate` — generate, enumerate mutants, and score the suite's
+  killing power in one call.
+
+Everything here is re-exported from :mod:`repro`; this module is the
+documented entry point, and ``tests/test_public_api.py`` locks its
+surface so it cannot drift silently::
+
+    import repro
+
+    run = repro.generate(ddl, "SELECT * FROM r WHERE r.a > 5",
+                         config=repro.GenConfig(trace=True, metrics=True))
+    print(run.health.summary())
+    print(run.trace_text())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.generator import (
+    Budgets,
+    GenConfig,
+    GeneratedDataset,
+    SuiteHealth,
+    TestSuite,
+    XDataGenerator,
+)
+from repro.engine.database import Database
+from repro.mutation.space import MutationSpace, enumerate_mutants
+from repro.schema.catalog import Schema
+from repro.schema.ddl import parse_ddl
+from repro.solver.search import SearchConfig
+from repro.testing.killcheck import KillReport, evaluate_suite
+from repro.testing.workload import WorkloadSuite
+from repro.testing.workload import generate_workload as _generate_workload
+
+__all__ = [
+    "Run",
+    "Evaluation",
+    "generate",
+    "generate_workload",
+    "evaluate",
+    "GenConfig",
+    "SearchConfig",
+    "Budgets",
+]
+
+
+def _as_schema(schema: Schema | str) -> Schema:
+    """Accept a parsed schema or raw DDL text."""
+    if isinstance(schema, str):
+        return parse_ddl(schema)
+    return schema
+
+
+@dataclass
+class Run:
+    """One ``generate()`` call's complete result.
+
+    Bundles the suite with its observability artefacts so callers never
+    reach into generator internals: ``run.suite`` (datasets + skip
+    list), ``run.health`` (failure semantics), ``run.trace`` (span
+    tree, with :attr:`GenConfig.trace`) and ``run.metrics`` (snapshot,
+    with :attr:`GenConfig.metrics`).
+    """
+
+    suite: TestSuite
+
+    @property
+    def datasets(self) -> list[GeneratedDataset]:
+        return self.suite.datasets
+
+    @property
+    def databases(self) -> list[Database]:
+        return self.suite.databases
+
+    @property
+    def health(self) -> SuiteHealth:
+        return self.suite.health
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing degraded (equivalences are not failures)."""
+        return self.suite.health.ok
+
+    @property
+    def trace(self) -> list | None:
+        """Root span records (``GenConfig.trace``), else ``None``."""
+        return self.suite.trace
+
+    @property
+    def metrics(self) -> dict | None:
+        """Metrics snapshot (``GenConfig.metrics``), else ``None``."""
+        return self.suite.metrics
+
+    def trace_text(self) -> str:
+        """The span tree rendered as an indented text tree."""
+        from repro.testing.report import format_trace
+
+        return format_trace(self.trace)
+
+    def metrics_text(self) -> str:
+        """The metrics snapshot in Prometheus-style text exposition."""
+        from repro.obs.metrics import render_text
+
+        return render_text(self.metrics)
+
+    def summary(self) -> str:
+        """The suite summary (datasets, timings, health)."""
+        from repro.testing.report import format_suite
+
+        return format_suite(self.suite)
+
+
+@dataclass
+class Evaluation:
+    """Result of :func:`evaluate`: a run scored against its mutants."""
+
+    run: Run
+    space: MutationSpace
+    report: KillReport
+
+    @property
+    def killed(self) -> int:
+        return self.report.killed
+
+    @property
+    def total(self) -> int:
+        return self.report.total
+
+    @property
+    def survivors(self) -> list:
+        return self.report.survivors
+
+
+def generate(
+    schema: Schema | str, query: str, *, config: GenConfig | None = None
+) -> Run:
+    """Generate a mutant-killing test suite for one query.
+
+    Args:
+        schema: Parsed :class:`Schema` or raw ``CREATE TABLE`` DDL text.
+        query: The SQL query under test.
+        config: Generator configuration; defaults cover the paper's
+            standard pipeline.  Turn on :attr:`GenConfig.trace` /
+            ``metrics`` / ``journal_path`` for observability.
+    """
+    generator = XDataGenerator(_as_schema(schema), config)
+    return Run(generator.generate(query))
+
+
+def generate_workload(
+    schema: Schema | str, queries: dict[str, str], *,
+    config: GenConfig | None = None, **kwargs,
+) -> WorkloadSuite:
+    """Generate one combined fixture set for many named queries.
+
+    Keyword arguments (``minimize``, ``workers``, ``fail_fast``) pass
+    through to :func:`repro.testing.workload.generate_workload`.
+    """
+    return _generate_workload(
+        _as_schema(schema), queries, config=config, **kwargs
+    )
+
+
+def evaluate(
+    schema: Schema | str, query: str, *,
+    config: GenConfig | None = None, include_full_outer: bool = False,
+) -> Evaluation:
+    """Generate a suite and score it against the query's mutants."""
+    run = generate(schema, query, config=config)
+    space = enumerate_mutants(
+        run.suite.analyzed, include_full_outer=include_full_outer
+    )
+    report = evaluate_suite(space, run.databases)
+    return Evaluation(run, space, report)

@@ -29,7 +29,21 @@ from repro.errors import XDataError
 from repro.mutation import enumerate_mutants
 from repro.schema.ddl import parse_ddl
 from repro.testing import classify_survivors, evaluate_suite
-from repro.testing.report import format_kill_report, format_suite
+from repro.testing.report import format_kill_report, format_suite, format_trace
+
+
+def _print_observability(suite, args) -> None:
+    """Print the span tree and/or metrics a run recorded, per flags."""
+    if args.trace and suite.trace is not None:
+        print()
+        print("-- trace:")
+        print(format_trace(suite.trace))
+    if args.metrics and suite.metrics is not None:
+        from repro.obs.metrics import render_text
+
+        print()
+        print("-- metrics:")
+        print(render_text(suite.metrics))
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -113,6 +127,26 @@ def _build_parser() -> argparse.ArgumentParser:
             help="abort on the first degraded dataset (budget/error skip) "
             "instead of completing the suite and reporting it in the "
             "health summary",
+        )
+        cmd.add_argument(
+            "--trace",
+            action="store_true",
+            help="record spans for every pipeline stage and print the "
+            "span tree after the run",
+        )
+        cmd.add_argument(
+            "--metrics",
+            action="store_true",
+            help="collect counters/gauges/histograms and print them in "
+            "Prometheus text format after the run",
+        )
+        cmd.add_argument(
+            "--journal",
+            metavar="PATH",
+            default=None,
+            help="append a JSON-lines run journal (one event per span "
+            "close; survives crashes — validate with "
+            "'python -m repro.obs.journal PATH')",
         )
         if name in ("mutants", "evaluate"):
             cmd.add_argument(
@@ -212,6 +246,12 @@ def _run_workload(schema, config, args) -> int:
         return 1
     suite = generate_workload(schema, queries, config)
     print(suite.summary())
+    if args.trace or args.metrics:
+        for entry in suite.entries:
+            if entry.suite is None:
+                continue
+            print(f"\n== {entry.name} ==")
+            _print_observability(entry.suite, args)
     if args.out:
         os.makedirs(args.out, exist_ok=True)
         for index, dataset in enumerate(suite.datasets):
@@ -241,6 +281,9 @@ def main(argv: list[str] | None = None) -> int:
             spec_deadline_s=args.deadline,
             retries=max(0, args.retries),
             fail_fast=args.fail_fast,
+            trace=args.trace,
+            metrics=args.metrics,
+            journal_path=args.journal,
         )
         if args.command == "mutants":
             space = enumerate_mutants(
@@ -269,6 +312,7 @@ def main(argv: list[str] | None = None) -> int:
                     handle.write(to_insert_script(dataset.db) + "\n")
                 print(f"wrote {path}")
             print(f"{len(suite.datasets)} datasets exported to {args.out}")
+            _print_observability(suite, args)
             return 0
         if args.command == "generate":
             print(format_suite(suite))
@@ -279,6 +323,7 @@ def main(argv: list[str] | None = None) -> int:
                     print("-- constraints:")
                     print(dataset.constraints_cvc)
                 print()
+            _print_observability(suite, args)
             return 0
         # evaluate
         space = enumerate_mutants(
@@ -310,6 +355,7 @@ def main(argv: list[str] | None = None) -> int:
             )
             for miss in classification.missed:
                 print(f"  MISSED: {miss.mutant}")
+        _print_observability(suite, args)
         return 0
     except XDataError as exc:
         print(f"error: {exc}", file=sys.stderr)

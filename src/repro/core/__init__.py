@@ -11,6 +11,7 @@ Public surface:
 
 from repro.core.analyze import AnalyzedQuery, analyze_query
 from repro.core.generator import (
+    Budgets,
     GeneratedDataset,
     GenConfig,
     SuiteHealth,
@@ -23,6 +24,7 @@ __all__ = [
     "analyze_query",
     "XDataGenerator",
     "GenConfig",
+    "Budgets",
     "TestSuite",
     "GeneratedDataset",
     "SuiteHealth",

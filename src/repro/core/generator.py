@@ -23,7 +23,8 @@ from __future__ import annotations
 import dataclasses
 import os
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import InitVar, dataclass, field
 
 from repro.core import (
     kill_aggregates,
@@ -39,12 +40,34 @@ from repro.core.spec import DatasetSpec, SkippedTarget
 from repro.core.tuplespace import ProblemSpace
 from repro.engine.database import Database
 from repro.errors import GenerationError, SolverLimitError
+from repro.obs import Metrics, Tracer
+from repro.obs.trace import NULL_TRACER
 from repro.schema.catalog import Schema
 from repro.solver.search import SearchConfig
 from repro.solver.solver import Solver, SolveStats
 from repro.solver.terms import Formula
 from repro.sql.ast import Query
 from repro.sql.parser import parse_query
+
+
+@dataclass(frozen=True)
+class Budgets:
+    """Every wall-clock budget of a run, under one naming convention.
+
+    Overlay object for :class:`GenConfig`: ``GenConfig(budgets=Budgets(
+    suite_deadline_s=30.0))`` applies each non-``None`` field onto the
+    matching config knob (``solve_deadline_s`` lands on the nested
+    :attr:`GenConfig.solver` search config).  All values are seconds.
+    """
+
+    #: Budget for one solver search run (:attr:`SearchConfig.solve_deadline_s`).
+    solve_deadline_s: float | None = None
+    #: Budget for one spec's whole retry ladder.
+    spec_deadline_s: float | None = None
+    #: Budget for a whole ``generate()`` call.
+    suite_deadline_s: float | None = None
+    #: Budget for a pooled run's wait on any single worker result.
+    pool_deadline_s: float | None = None
 
 
 @dataclass
@@ -105,7 +128,7 @@ class GenConfig:
     #: a hung worker then degrades the run instead of hanging it.
     #: ``suite_deadline_s`` implies the same bound; this one applies
     #: even without a suite deadline.
-    pool_timeout_s: float | None = None
+    pool_deadline_s: float | None = None
     #: Retry ladder (§5d): after a budget trip on the primary attempt,
     #: how many times to retry it with an escalated node budget
     #: (``node_limit * retry_node_factor**i``) before dropping to the
@@ -120,6 +143,70 @@ class GenConfig:
     #: unexpected error) instead of recording a skip and continuing.
     #: UNSAT specs are never failures (they are equivalence proofs).
     fail_fast: bool = False
+    #: -- observability (DESIGN.md §5e) ----------------------------------
+    #: Collect a nested-span trace of the run; the span tree is attached
+    #: to the suite as :attr:`TestSuite.trace`.
+    trace: bool = False
+    #: Aggregate counters/gauges/histograms over the run; the snapshot is
+    #: attached as :attr:`TestSuite.metrics`.
+    metrics: bool = False
+    #: Append the JSON-lines run journal to this file: ``run_start``, one
+    #: ``span`` event per span close, and ``run_end`` / ``run_abort`` —
+    #: flushed per event, so crashed or deadline-killed runs leave a
+    #: complete forensic record.  Pooled *suite-level* fan-out strips the
+    #: path from worker configs (one writer only); the workload layer
+    #: replays worker span trees into the parent's journal instead.
+    journal_path: str | None = None
+    #: Deprecated spelling of :attr:`pool_deadline_s` (constructor
+    #: keyword only; warns).
+    pool_timeout_s: InitVar[float | None] = None
+    #: Optional :class:`Budgets` overlay applied onto the deadline knobs.
+    budgets: InitVar[Budgets | None] = None
+
+    def __post_init__(
+        self, pool_timeout_s: float | None, budgets: Budgets | None
+    ) -> None:
+        # Apply only when pool_deadline_s was not itself set: replace()
+        # round-trips the alias property, and the re-passed old value
+        # must not clobber a new pool_deadline_s in the same call.
+        if pool_timeout_s is not None and self.pool_deadline_s is None:
+            warnings.warn(
+                "GenConfig(pool_timeout_s=...) is deprecated; use "
+                "pool_deadline_s",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            self.pool_deadline_s = pool_timeout_s
+        if budgets is not None:
+            if budgets.solve_deadline_s is not None:
+                self.solver = dataclasses.replace(
+                    self.solver, solve_deadline_s=budgets.solve_deadline_s
+                )
+            if budgets.spec_deadline_s is not None:
+                self.spec_deadline_s = budgets.spec_deadline_s
+            if budgets.suite_deadline_s is not None:
+                self.suite_deadline_s = budgets.suite_deadline_s
+            if budgets.pool_deadline_s is not None:
+                self.pool_deadline_s = budgets.pool_deadline_s
+
+    @property
+    def observability_on(self) -> bool:
+        """True when any of trace / metrics / journal is requested."""
+        return self.trace or self.metrics or self.journal_path is not None
+
+
+def _pool_timeout_s_alias(self) -> float | None:
+    warnings.warn(
+        "GenConfig.pool_timeout_s is deprecated; read pool_deadline_s",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return self.pool_deadline_s
+
+
+# Assigned after the decorator ran so the dataclass machinery sees only
+# the InitVar, not the property, as the ``pool_timeout_s`` class attribute.
+GenConfig.pool_timeout_s = property(_pool_timeout_s_alias)
 
 
 @dataclass
@@ -148,6 +235,16 @@ class GeneratedDataset:
 #: Stage keys reported in :attr:`TestSuite.stage_times`.
 STAGES = ("analyze", "build", "preprocess", "search", "assemble")
 
+#: Per-spec outcome category -> metrics counter.  Each counter's total
+#: equals the matching :class:`SuiteHealth` field at the end of a run.
+_SPEC_COUNTERS = {
+    "completed": "xdata_specs_completed_total",
+    "unsat": "xdata_specs_skipped_unsat_total",
+    "budget": "xdata_specs_skipped_budget_total",
+    "error": "xdata_specs_errored_total",
+    "equivalent": "xdata_specs_skipped_equivalent_total",
+}
+
 
 @dataclass
 class SpecResult:
@@ -159,6 +256,21 @@ class SpecResult:
     stage_times: dict[str, float] = field(default_factory=dict)
     #: Total solve attempts across the retry ladder.
     attempts: int = 1
+    #: -- observability (§5e); all picklable, shipped across the pool ----
+    #: Closed ``attempt`` span records collected while solving (only when
+    #: observability is on), grafted under the parent's ``solve`` span.
+    spans: list | None = None
+    #: Search nodes expanded across every attempt.
+    nodes: int = 0
+    #: Attempts aborted by a node/deadline budget trip.
+    limit_hits: int = 0
+    #: Hot-path cache traffic (domain memo, db-constraint and
+    #: declaration-snapshot caches) as counter deltas.
+    cache_counts: dict = field(default_factory=dict)
+    #: ``time.time()`` stamp when a pool worker picked the spec up (0.0
+    #: for in-process solves); with ``BatchOutcome.submitted_at`` this
+    #: yields the pool queue wait.
+    started_at: float = 0.0
 
 
 @dataclass
@@ -241,6 +353,12 @@ class TestSuite:
     stage_times: dict[str, float] = field(default_factory=dict)
     #: Failure-semantics summary: what completed, what degraded and why.
     health: SuiteHealth = field(default_factory=SuiteHealth)
+    #: Root span records of the run's trace (:attr:`GenConfig.trace`),
+    #: else ``None``.  Render with :func:`repro.testing.report.format_trace`.
+    trace: list | None = None
+    #: Metrics snapshot (:attr:`GenConfig.metrics`), else ``None``.
+    #: Render with :func:`repro.obs.render_text` / ``render_json``.
+    metrics: dict | None = None
 
     @property
     def databases(self) -> list[Database]:
@@ -261,9 +379,17 @@ class TestSuite:
         return sum(1 for d in self.datasets if d.group != "original")
 
     def pretty(self) -> str:
-        blocks = [f"Test suite for: {self.sql}",
-                  f"  {len(self.datasets)} datasets, "
-                  f"{len(self.skipped)} equivalent mutation groups skipped"]
+        # Health formatting lives in SuiteHealth.summary() alone; the old
+        # inline line also miscounted (it called every skip "equivalent",
+        # budget/error skips included) and never adjusted its plural.
+        datasets = len(self.datasets)
+        skips = len(self.skipped)
+        blocks = [
+            f"Test suite for: {self.sql}",
+            f"  {datasets} dataset{'' if datasets == 1 else 's'}, "
+            f"{skips} mutation group{'' if skips == 1 else 's'} skipped\n"
+            f"  {self.health.summary()}",
+        ]
         for dataset in self.datasets:
             blocks.append(dataset.pretty())
         return "\n\n".join(blocks)
@@ -338,6 +464,12 @@ def _fault_hooks_enabled() -> bool:
     )
 
 
+def _bump(counts: dict | None, key: str) -> None:
+    """Add one to a cache counter, when a counts dict is threaded in."""
+    if counts is not None:
+        counts[key] = counts.get(key, 0) + 1
+
+
 def _parse_cached(query: str) -> Query:
     parsed = _PARSE_CACHE.get(query)
     if parsed is None:
@@ -361,146 +493,287 @@ class XDataGenerator:
 
         Queries with EXISTS / IN (SELECT ...) predicates are decorrelated
         into joins first (Section V-H) when that is multiplicity-safe.
+
+        With observability on (:attr:`GenConfig.trace` / ``metrics`` /
+        ``journal_path``, see DESIGN.md §5e) the suite also carries the
+        span tree and the metrics snapshot, and every span close is
+        journalled as it happens — a run killed mid-flight still leaves
+        its events on disk.
         """
-        start = time.perf_counter()
-        if isinstance(query, str):
-            if self.config.hot_path_caching:
-                parsed = _parse_cached(query)
-            else:
-                parsed = parse_query(query)
-        else:
-            parsed = query
-        if parsed.has_subquery_predicates:
-            from repro.core.decorrelate import decorrelate
+        config = self.config
+        journal = None
+        metrics = None
+        tracer = NULL_TRACER
+        if config.observability_on:
+            if config.journal_path is not None:
+                # Imported lazily so `python -m repro.obs.journal` can
+                # run the validator without runpy's re-execution warning.
+                from repro.obs import JournalWriter
 
-            parsed = decorrelate(parsed, self.schema)
-        aq = analyze_query(parsed, self.schema)
-        specs, skipped = self._derive_specs(aq)
-        analyze_time = time.perf_counter() - start
-        sql = query if isinstance(query, str) else str(parsed)
-
-        suite_deadline = (
-            start + self.config.suite_deadline_s
-            if self.config.suite_deadline_s is not None
-            else None
-        )
-        results: list[SpecResult]
-        pool_degraded = False
-        use_pool = False
-        if self.config.workers > 1 and len(specs) > 1:
-            from repro.core.parallel import effective_workers
-
-            use_pool = effective_workers(self.config.workers, len(specs)) > 1
-        if use_pool:
-            from repro.core.parallel import solve_specs_parallel
-
-            pool_deadline = suite_deadline
-            if self.config.pool_timeout_s is not None:
-                stamp = time.perf_counter() + self.config.pool_timeout_s
-                pool_deadline = (
-                    stamp if pool_deadline is None
-                    else min(pool_deadline, stamp)
-                )
-            outcome = solve_specs_parallel(
-                self.schema, sql, self.config, len(specs),
-                deadline=pool_deadline,
+                journal = JournalWriter(config.journal_path)
+                journal.run_start(query if isinstance(query, str) else None)
+            tracer = Tracer(
+                sink=journal.span_sink if journal is not None else None
             )
-            pool_degraded = outcome.degraded
-            results = [
-                result
-                if result is not None
-                else SpecResult(
-                    None,
-                    SkippedTarget(
-                        spec.group, spec.target, "budget",
-                        detail="suite budget exhausted before the spec "
-                        "was solved",
-                    ),
-                    0.0,
-                    attempts=0,
-                )
-                for spec, result in zip(specs, outcome.results)
-            ]
-        else:
-            caches: dict = {}
-            results = []
-            for index, spec in enumerate(specs):
-                if (
-                    suite_deadline is not None
-                    and time.perf_counter() > suite_deadline
-                ):
-                    results.append(
-                        SpecResult(
-                            None,
-                            SkippedTarget(
-                                spec.group, spec.target, "budget",
-                                detail="suite deadline exceeded",
-                            ),
-                            0.0,
-                            attempts=0,
-                        )
-                    )
-                    continue
-                results.append(
-                    self._run_spec(
-                        aq, spec, caches, spec_index=index,
-                        suite_deadline=suite_deadline,
-                    )
-                )
+            if config.metrics:
+                metrics = Metrics()
+        try:
+            suite = self._generate(query, tracer, metrics)
+        except BaseException as exc:
+            if journal is not None:
+                journal.run_abort(exc)
+                journal.close()
+            raise
+        if config.trace:
+            suite.trace = tracer.roots
+        if metrics is not None:
+            suite.metrics = metrics.snapshot()
+        if journal is not None:
+            journal.run_end(
+                suite.elapsed, suite.health.ok,
+                dataclasses.asdict(suite.health), suite.metrics,
+            )
+            journal.close()
+        return suite
 
-        datasets: list[GeneratedDataset] = []
-        solve_time = 0.0
-        stage_times = {name: 0.0 for name in STAGES}
-        stage_times["analyze"] = analyze_time
-        health = SuiteHealth(pool_degraded=pool_degraded)
-        health.skipped_equivalent = len(skipped)
-        time_by = health.time_by_reason
-        for result in results:
-            solve_time += result.solve_time
-            for name, spent in result.stage_times.items():
-                stage_times[name] = stage_times.get(name, 0.0) + spent
-            if result.dataset is not None:
-                datasets.append(result.dataset)
-                health.completed += 1
-                if result.attempts > 1:
-                    health.retried += 1
-                time_by["completed"] = (
-                    time_by.get("completed", 0.0) + result.solve_time
-                )
-            elif result.skipped is not None:
-                skip = result.skipped
-                skipped.append(skip)
-                if skip.reason == "budget":
-                    health.skipped_budget += 1
-                    category = "budget"
-                elif skip.reason.startswith("error:"):
-                    health.errored += 1
-                    category = "error"
-                elif skip.reason == "unsat":
-                    health.skipped_unsat += 1
-                    category = "unsat"
+    def _generate(
+        self, query: str | Query, tracer: Tracer, metrics: Metrics | None
+    ) -> TestSuite:
+        start = time.perf_counter()
+        config = self.config
+        with tracer.span("generate") as root:
+            with tracer.span("parse") as record:
+                if isinstance(query, str):
+                    if config.hot_path_caching:
+                        if metrics is not None:
+                            metrics.inc(
+                                "xdata_cache_parse_hits"
+                                if query in _PARSE_CACHE
+                                else "xdata_cache_parse_misses"
+                            )
+                        parsed = _parse_cached(query)
+                    else:
+                        parsed = parse_query(query)
                 else:
-                    health.skipped_equivalent += 1
-                    category = "equivalent"
-                time_by[category] = time_by.get(category, 0.0) + skip.elapsed
-                if skip.is_degraded:
-                    health.degraded_targets.append(skip.target)
-                    if self.config.fail_fast:
-                        raise GenerationError(
-                            f"fail-fast: {skip.target} degraded "
-                            f"({skip.reason}"
-                            + (f": {skip.detail}" if skip.detail else "")
-                            + ")"
-                        )
-        elapsed = time.perf_counter() - start
-        from repro.core.assumptions import check_assumptions
+                    parsed = query
+                if parsed.has_subquery_predicates:
+                    from repro.core.decorrelate import decorrelate
 
-        return TestSuite(
-            sql, aq, datasets, skipped, elapsed, solve_time,
-            warnings=check_assumptions(aq),
-            stage_times=stage_times,
-            health=health,
-        )
+                    parsed = decorrelate(parsed, self.schema)
+                    record["attrs"]["decorrelated"] = True
+            with tracer.span("analyze"):
+                aq = analyze_query(parsed, self.schema)
+            with tracer.span("derive_specs") as record:
+                specs, skipped = self._derive_specs(aq)
+                record["attrs"]["specs"] = len(specs)
+                record["attrs"]["structural_skips"] = len(skipped)
+            analyze_time = time.perf_counter() - start
+            sql = query if isinstance(query, str) else str(parsed)
+
+            suite_deadline = (
+                start + config.suite_deadline_s
+                if config.suite_deadline_s is not None
+                else None
+            )
+            results: list[SpecResult]
+            pool_degraded = False
+            use_pool = False
+            if config.workers > 1 and len(specs) > 1:
+                from repro.core.parallel import effective_workers
+
+                use_pool = effective_workers(config.workers, len(specs)) > 1
+            if use_pool:
+                from repro.core.parallel import solve_specs_parallel
+
+                pool_deadline = suite_deadline
+                if config.pool_deadline_s is not None:
+                    stamp = time.perf_counter() + config.pool_deadline_s
+                    pool_deadline = (
+                        stamp if pool_deadline is None
+                        else min(pool_deadline, stamp)
+                    )
+                outcome = solve_specs_parallel(
+                    self.schema, sql, config, len(specs),
+                    deadline=pool_deadline,
+                )
+                pool_degraded = outcome.degraded
+                if metrics is not None:
+                    metrics.gauge(
+                        "xdata_pool_workers",
+                        effective_workers(config.workers, len(specs)),
+                    )
+                    metrics.gauge("xdata_pool_degraded", int(outcome.degraded))
+                    resumed = set(outcome.resumed)
+                    for index, result in enumerate(outcome.results):
+                        if (
+                            result is not None
+                            and index not in resumed
+                            and outcome.submitted_at
+                            and result.started_at
+                        ):
+                            metrics.observe(
+                                "xdata_pool_queue_wait_seconds",
+                                max(
+                                    0.0,
+                                    result.started_at - outcome.submitted_at,
+                                ),
+                            )
+                results = [
+                    result
+                    if result is not None
+                    else SpecResult(
+                        None,
+                        SkippedTarget(
+                            spec.group, spec.target, "budget",
+                            detail="suite budget exhausted before the spec "
+                            "was solved",
+                        ),
+                        0.0,
+                        attempts=0,
+                    )
+                    for spec, result in zip(specs, outcome.results)
+                ]
+            else:
+                caches: dict = {}
+                results = []
+                for index, spec in enumerate(specs):
+                    if (
+                        suite_deadline is not None
+                        and time.perf_counter() > suite_deadline
+                    ):
+                        results.append(
+                            SpecResult(
+                                None,
+                                SkippedTarget(
+                                    spec.group, spec.target, "budget",
+                                    detail="suite deadline exceeded",
+                                ),
+                                0.0,
+                                attempts=0,
+                            )
+                        )
+                        continue
+                    results.append(
+                        self._run_spec(
+                            aq, spec, caches, spec_index=index,
+                            suite_deadline=suite_deadline,
+                        )
+                    )
+
+            datasets: list[GeneratedDataset] = []
+            solve_time = 0.0
+            stage_times = {name: 0.0 for name in STAGES}
+            stage_times["analyze"] = analyze_time
+            health = SuiteHealth(pool_degraded=pool_degraded)
+            health.skipped_equivalent = len(skipped)
+            if metrics is not None and skipped:
+                # Structural equivalence proofs never reach the solver;
+                # count them here so spec counters reconcile with health.
+                metrics.inc(
+                    "xdata_specs_skipped_equivalent_total", len(skipped)
+                )
+            time_by = health.time_by_reason
+            for index, result in enumerate(results):
+                spec = specs[index]
+                fail_fast_message = None
+                solve_time += result.solve_time
+                for name, spent in result.stage_times.items():
+                    stage_times[name] = stage_times.get(name, 0.0) + spent
+                if result.dataset is not None:
+                    status = "completed"
+                    category = "completed"
+                    span_elapsed = result.solve_time
+                    datasets.append(result.dataset)
+                    health.completed += 1
+                    if result.attempts > 1:
+                        health.retried += 1
+                    time_by["completed"] = (
+                        time_by.get("completed", 0.0) + result.solve_time
+                    )
+                else:
+                    skip = result.skipped
+                    if skip is None:
+                        continue
+                    skipped.append(skip)
+                    span_elapsed = skip.elapsed
+                    if skip.reason == "budget":
+                        health.skipped_budget += 1
+                        category = "budget"
+                    elif skip.reason.startswith("error:"):
+                        health.errored += 1
+                        category = "error"
+                    elif skip.reason == "unsat":
+                        health.skipped_unsat += 1
+                        category = "unsat"
+                    else:
+                        health.skipped_equivalent += 1
+                        category = "equivalent"
+                    # A budget skip that never got an attempt means the
+                    # suite/pool deadline killed the spec outright.
+                    status = (
+                        "killed-by-deadline"
+                        if category == "budget" and result.attempts == 0
+                        else f"skipped:{skip.reason}"
+                    )
+                    time_by[category] = (
+                        time_by.get(category, 0.0) + skip.elapsed
+                    )
+                    if skip.is_degraded:
+                        health.degraded_targets.append(skip.target)
+                        if config.fail_fast:
+                            fail_fast_message = (
+                                f"fail-fast: {skip.target} degraded "
+                                f"({skip.reason}"
+                                + (f": {skip.detail}" if skip.detail else "")
+                                + ")"
+                            )
+                if tracer.enabled:
+                    tracer.add_record({
+                        "name": "solve",
+                        "start_s": 0.0,
+                        "elapsed_s": round(span_elapsed, 6),
+                        "status": status,
+                        "attrs": {
+                            "spec": index,
+                            "group": spec.group,
+                            "target": spec.target,
+                            "attempts": result.attempts,
+                            "nodes": result.nodes,
+                            "limit_hits": result.limit_hits,
+                            "cache": result.cache_counts,
+                        },
+                        "children": list(result.spans or ()),
+                    })
+                if metrics is not None:
+                    metrics.inc("xdata_specs_total")
+                    metrics.inc(_SPEC_COUNTERS[category])
+                    metrics.inc("xdata_solver_nodes_total", result.nodes)
+                    metrics.inc("xdata_limit_hits_total", result.limit_hits)
+                    metrics.inc_all(result.cache_counts, prefix="xdata_cache_")
+                    metrics.observe(
+                        "xdata_solve_latency_seconds", result.solve_time
+                    )
+                    metrics.observe("xdata_retry_ladder_depth", result.attempts)
+                if fail_fast_message is not None:
+                    # Raised only after the spec's span/metrics landed, so
+                    # the journal still accounts for the fatal spec.
+                    raise GenerationError(fail_fast_message)
+            elapsed = time.perf_counter() - start
+            with tracer.span("assemble") as record:
+                from repro.core.assumptions import check_assumptions
+
+                suite = TestSuite(
+                    sql, aq, datasets, skipped, elapsed, solve_time,
+                    warnings=check_assumptions(aq),
+                    stage_times=stage_times,
+                    health=health,
+                )
+                record["attrs"]["datasets"] = len(datasets)
+                record["attrs"]["skipped"] = len(skipped)
+            root["attrs"]["specs"] = len(specs)
+            root["attrs"]["datasets"] = len(datasets)
+            root["attrs"]["degraded"] = len(health.degraded_targets)
+        return suite
 
     def _derive_specs(
         self, aq: AnalyzedQuery
@@ -573,18 +846,22 @@ class XDataGenerator:
         deadline to the time left in the spec/suite budget.
         """
         base = self.config.solver
-        deadline = base.deadline_s
+        deadline = base.solve_deadline_s
         if remaining_s is not None:
             deadline = (
                 remaining_s if deadline is None else min(deadline, remaining_s)
             )
-        if node_scale == 1 and deadline == base.deadline_s:
+        if node_scale == 1 and deadline == base.solve_deadline_s:
             return base
         return dataclasses.replace(
-            base, node_limit=base.node_limit * node_scale, deadline_s=deadline
+            base, node_limit=base.node_limit * node_scale,
+            solve_deadline_s=deadline,
         )
 
-    def _db_constraints_for(self, space: ProblemSpace, db_cache: dict):
+    def _db_constraints_for(
+        self, space: ProblemSpace, db_cache: dict,
+        counts: dict | None = None,
+    ):
         """Database constraints, cached per tuple-space signature.
 
         The pk/fk formula set depends only on the slot counts per table
@@ -593,6 +870,9 @@ class XDataGenerator:
         identical formulas over the same variable names, so one list is
         built and shared.  Shared formulas also amortise their
         ``unfold_formula`` / ``formula_variables`` memos across solves.
+
+        ``counts`` (observability, §5e) receives hit/miss deltas under
+        the ``db_constraints_*`` keys.
         """
         if not self.config.hot_path_caching:
             return db_constraints(space)
@@ -603,8 +883,11 @@ class XDataGenerator:
         )
         cached = db_cache.get(signature)
         if cached is None:
+            _bump(counts, "db_constraints_misses")
             cached = db_constraints(space)
             db_cache[signature] = cached
+        else:
+            _bump(counts, "db_constraints_hits")
         return cached
 
     def _declared_space(
@@ -613,6 +896,7 @@ class XDataGenerator:
         spec: DatasetSpec,
         decl_cache: dict,
         search_config: SearchConfig | None = None,
+        counts: dict | None = None,
     ) -> ProblemSpace:
         """A fresh, fully-declared problem space for ``spec``.
 
@@ -641,7 +925,9 @@ class XDataGenerator:
         key = (spec.copies, support)
         snap = decl_cache.get(key)
         if snap is not None:
+            _bump(counts, "declaration_hits")
             return ProblemSpace.restore(aq, snap, search_config)
+        _bump(counts, "declaration_misses")
         base_key = (spec.copies, ())
         base = decl_cache.get(base_key)
         if base is None:
@@ -710,16 +996,47 @@ class XDataGenerator:
         budget_detail = ""
         first_error: tuple[str, str] | None = None
         inject = spec_index is not None and _fault_hooks_enabled()
+        # Observability (§5e): attempt spans are collected on a local
+        # tracer — this method also runs inside pool workers, so the
+        # records travel back with the (picklable) SpecResult and the
+        # parent grafts them under its own solve span.
+        local = Tracer() if config.observability_on else NULL_TRACER
+        nodes_total = 0
+        limit_hits = 0
+        counts: dict[str, int] = {}
 
         def tally(space) -> SolveStats | None:
-            nonlocal solve_time
+            nonlocal solve_time, nodes_total, limit_hits
             stats = space.solver.last_stats if space is not None else None
             if stats is None:
                 return None
             solve_time += stats.elapsed
             stage["preprocess"] += stats.preprocess_time
             stage["search"] += stats.search_time
+            nodes_total += stats.nodes
+            counts["domain_hits"] = (
+                counts.get("domain_hits", 0) + stats.cache_hits
+            )
+            counts["domain_misses"] = (
+                counts.get("domain_misses", 0) + stats.cache_misses
+            )
+            if stats.limit_hit:
+                limit_hits += 1
             return stats
+
+        def spec_result(dataset: GeneratedDataset | None,
+                        skip: SkippedTarget | None) -> SpecResult:
+            return SpecResult(
+                dataset,
+                skip,
+                solve_time,
+                stage,
+                attempts=attempts,
+                spans=local.roots or None,
+                nodes=nodes_total,
+                limit_hits=limit_hits,
+                cache_counts=counts,
+            )
 
         def attempt(rung_spec, build, note, node_scale):
             """One build through the input options.
@@ -738,72 +1055,85 @@ class XDataGenerator:
                         budget_detail = budget_detail or "deadline exhausted"
                         return "budget"
                 attempts += 1
-                space = None
-                try:
-                    build_start = time.perf_counter()
-                    space = self._declared_space(
-                        aq, rung_spec, decl_cache,
-                        self._attempt_config(node_scale, remaining),
-                    )
-                    solver = space.solver
-                    solver.add_all(build(space))
-                    self._apply_null_tests(aq, space, rung_spec)
-                    solver.add_all(self._db_constraints_for(space, db_cache))
-                    if use_input:
-                        solver.add_all(
-                            input_constraints(
-                                space, config.input_db, config.input_mode
-                            )
+                with local.span(
+                    "attempt",
+                    rung=note if note else "primary",
+                    node_scale=node_scale,
+                    input_db=use_input,
+                ) as arec:
+                    space = None
+                    try:
+                        build_start = time.perf_counter()
+                        space = self._declared_space(
+                            aq, rung_spec, decl_cache,
+                            self._attempt_config(node_scale, remaining),
+                            counts=counts,
                         )
-                    stage["build"] += time.perf_counter() - build_start
-                    if inject:
-                        from repro.testing import faults
+                        solver = space.solver
+                        solver.add_all(build(space))
+                        self._apply_null_tests(aq, space, rung_spec)
+                        solver.add_all(
+                            self._db_constraints_for(space, db_cache, counts)
+                        )
+                        if use_input:
+                            solver.add_all(
+                                input_constraints(
+                                    space, config.input_db, config.input_mode
+                                )
+                            )
+                        stage["build"] += time.perf_counter() - build_start
+                        if inject:
+                            from repro.testing import faults
 
-                        faults.fire(spec_index)
-                    model = solver.solve(unfold=config.unfold)
-                except SolverLimitError as exc:
-                    tally(space)
-                    budget_trips += 1
-                    budget_detail = budget_detail or str(exc)
-                    outcome = "budget"
-                    continue
-                except Exception as exc:  # failure isolation (§5d)
-                    if config.fail_fast:
-                        raise
-                    tally(space)
-                    if first_error is None:
-                        first_error = (type(exc).__name__, str(exc))
-                    if outcome != "budget":
-                        outcome = "error"
-                    continue
-                stats = tally(space)
-                if model is None:
-                    continue
-                assemble_start = time.perf_counter()
-                db = assemble_dataset(space, model)
-                stage["assemble"] += time.perf_counter() - assemble_start
-                trace = None
-                if config.trace_constraints:
-                    from repro.solver.cvcformat import assertions
+                            faults.fire(spec_index)
+                        model = solver.solve(unfold=config.unfold)
+                    except SolverLimitError as exc:
+                        stats = tally(space)
+                        arec["status"] = "budget"
+                        arec["attrs"]["nodes"] = stats.nodes if stats else 0
+                        budget_trips += 1
+                        budget_detail = budget_detail or str(exc)
+                        outcome = "budget"
+                        continue
+                    except Exception as exc:  # failure isolation (§5d)
+                        if config.fail_fast:
+                            raise
+                        stats = tally(space)
+                        arec["status"] = f"error:{type(exc).__name__}"
+                        arec["attrs"]["nodes"] = stats.nodes if stats else 0
+                        if first_error is None:
+                            first_error = (type(exc).__name__, str(exc))
+                        if outcome != "budget":
+                            outcome = "error"
+                        continue
+                    stats = tally(space)
+                    arec["attrs"]["nodes"] = stats.nodes if stats else 0
+                    if model is None:
+                        arec["status"] = "unsat"
+                        continue
+                    arec["status"] = "sat"
+                    assemble_start = time.perf_counter()
+                    db = assemble_dataset(space, model)
+                    stage["assemble"] += time.perf_counter() - assemble_start
+                    trace = None
+                    if config.trace_constraints:
+                        from repro.solver.cvcformat import assertions
 
-                    trace = assertions(solver.formulas)
-                return SpecResult(
-                    GeneratedDataset(
-                        group=spec.group,
-                        target=spec.target,
-                        purpose=spec.purpose,
-                        db=db,
-                        stats=stats,
-                        relaxation=note,
-                        used_input_db=use_input,
-                        constraints_cvc=trace,
-                        attempts=attempts,
-                    ),
-                    None,
-                    solve_time,
-                    stage,
-                    attempts=attempts,
-                )
+                        trace = assertions(solver.formulas)
+                    return spec_result(
+                        GeneratedDataset(
+                            group=spec.group,
+                            target=spec.target,
+                            purpose=spec.purpose,
+                            db=db,
+                            stats=stats,
+                            relaxation=note,
+                            used_input_db=use_input,
+                            constraints_cvc=trace,
+                            attempts=attempts,
+                        ),
+                        None,
+                    )
             return outcome
 
         # Rung 1: the primary build.
@@ -842,15 +1172,12 @@ class XDataGenerator:
             detail = first_error[1]
         else:
             reason, detail = "unsat", ""
-        return SpecResult(
+        return spec_result(
             None,
             SkippedTarget(
                 spec.group, spec.target, reason, detail=detail,
                 elapsed=time.perf_counter() - started, attempts=attempts,
             ),
-            solve_time,
-            stage,
-            attempts=attempts,
         )
 
     def _apply_null_tests(self, aq, space, spec) -> None:

@@ -143,9 +143,23 @@ def _worker_state(token: int, payload: tuple) -> dict:
     return state
 
 
-def _sequential_config(config):
-    """The config a worker runs with: same semantics, no nested pools."""
-    return dataclasses.replace(config, workers=1)
+def _sequential_config(config, strip_journal: bool = False):
+    """The config a worker runs with: same semantics, no nested pools.
+
+    ``strip_journal`` is set by the *suite-level* entry points, whose
+    workers run whole ``generate()`` calls: concurrent appends to one
+    journal file would interleave runs, so the path is removed and
+    tracing forced on instead — the parent (see
+    ``repro.testing.workload``) replays the shipped span trees into its
+    own journal.  Spec-level fan-out keeps the path: workers never open
+    it (``_run_spec`` only collects spans), it merely flags
+    observability as on.
+    """
+    changes: dict = {"workers": 1}
+    if strip_journal and getattr(config, "journal_path", None) is not None:
+        changes["journal_path"] = None
+        changes["trace"] = True
+    return dataclasses.replace(config, **changes)
 
 
 @dataclass
@@ -162,6 +176,10 @@ class BatchOutcome:
     results: list
     degraded: bool = False
     resumed: list[int] = field(default_factory=list)
+    #: ``time.time()`` stamp taken when the batch's futures were
+    #: submitted (0.0 for in-process batches); against each result's
+    #: ``started_at`` it yields the pool queue wait (§5e metrics).
+    submitted_at: float = 0.0
 
 
 @dataclass
@@ -216,12 +234,15 @@ def _solve_spec_task(token: int, payload: tuple, spec_index: int):
     from repro.core.generator import SpecResult
     from repro.core.spec import SkippedTarget
 
+    started = time.time()
     state = _worker_state(token, payload)
     try:
         generator, aq, specs, caches = _derived_spec_state(state)
-        return generator._run_spec(
+        result = generator._run_spec(
             aq, specs[spec_index], caches, spec_index=spec_index
         )
+        result.started_at = started
+        return result
     except Exception as exc:
         if state["payload"][1].fail_fast:
             raise
@@ -235,6 +256,7 @@ def _solve_spec_task(token: int, payload: tuple, spec_index: int):
             ),
             0.0,
             attempts=0,
+            started_at=started,
         )
 
 
@@ -281,6 +303,7 @@ def _run_batch(
     futures = None
     try:
         pool = _get_pool(pool_size)
+        outcome.submitted_at = time.time()
         futures = [pool.submit(task, arg) for arg in args]
     except (OSError, BrokenProcessPool) as exc:
         _warn_degraded(f"could not dispatch to the pool ({exc!r})")
@@ -399,7 +422,7 @@ def generate_jobs_parallel(
             schemas.append(schema)
         indexed_jobs.append((index, sql))
     pool_size = effective_workers(workers, len(jobs), cap_to_cpus)
-    payload = (_sequential_config(config), tuple(schemas))
+    payload = (_sequential_config(config, strip_journal=True), tuple(schemas))
     token = next(_TOKENS)
     task = functools.partial(_generate_job_task, token, payload)
     outcome = _run_batch(task, indexed_jobs, pool_size)
@@ -425,7 +448,7 @@ def generate_suites_parallel(
     names = list(queries)
     sqls = [queries[name] for name in names]
     pool_size = effective_workers(workers, len(sqls), cap_to_cpus)
-    payload = (schema, _sequential_config(config))
+    payload = (schema, _sequential_config(config, strip_journal=True))
     token = next(_TOKENS)
     task = functools.partial(_generate_suite_task, token, payload)
     outcome = _run_batch(task, sqls, pool_size)

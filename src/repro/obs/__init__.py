@@ -1,0 +1,36 @@
+"""Observability: tracing, metrics, and the JSON-lines run journal.
+
+See DESIGN.md §5e.  Everything here is zero-dependency and optional —
+the pipeline runs identically (and the hooks cost nothing) when
+``GenConfig.trace`` / ``metrics`` / ``journal_path`` are left off.
+"""
+
+from .metrics import HISTOGRAM_BOUNDS, Metrics, render_json, render_text
+from .trace import NULL_TRACER, Tracer, span_path_events, walk_spans
+
+_JOURNAL_NAMES = ("JournalError", "JournalWriter", "validate_journal")
+
+
+def __getattr__(name):
+    # Lazy so ``python -m repro.obs.journal`` doesn't re-execute a
+    # module this package already imported (runpy's RuntimeWarning).
+    if name in _JOURNAL_NAMES:
+        from repro.obs import journal
+
+        return getattr(journal, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Tracer",
+    "NULL_TRACER",
+    "span_path_events",
+    "walk_spans",
+    "Metrics",
+    "HISTOGRAM_BOUNDS",
+    "render_text",
+    "render_json",
+    "JournalWriter",
+    "JournalError",
+    "validate_journal",
+]

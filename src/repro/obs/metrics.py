@@ -1,0 +1,139 @@
+"""A zero-dependency metrics registry (DESIGN.md §5e).
+
+Three instrument kinds, all process-local and lock-free (the pipeline
+aggregates worker-side numbers by shipping them back with each result,
+never by sharing a registry across processes):
+
+* **counters** — monotonically increasing totals (solver nodes, cache
+  hits and misses, spec outcomes);
+* **gauges** — last-written values (pool width, degradation flags);
+* **histograms** — running count/sum/min/max plus fixed
+  less-than-or-equal buckets, for latencies (solve latency, pool queue
+  wait) and small discrete distributions (retry-ladder depth).
+
+A registry renders to a Prometheus-style text exposition
+(:func:`render_text`) or JSON (:func:`render_json`), and round-trips
+through a plain-dict :meth:`Metrics.snapshot` that pickles across the
+process pool and serialises into the run journal's ``run_end`` event.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["Metrics", "HISTOGRAM_BOUNDS", "render_text", "render_json"]
+
+#: Upper bounds (``le``) of the histogram buckets, in seconds for the
+#: latency metrics; the final implicit bucket is ``+Inf``.  The spread
+#: covers sub-millisecond cache-hit solves up to deadline-scale stalls.
+HISTOGRAM_BOUNDS = (0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10.0)
+
+
+class _Histogram:
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self.buckets = [0] * (len(HISTOGRAM_BOUNDS) + 1)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(HISTOGRAM_BOUNDS):
+            if value <= bound:
+                self.buckets[index] += 1
+                return
+        self.buckets[-1] += 1
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": round(self.total, 6),
+            "min": self.min,
+            "max": self.max,
+            "buckets": dict(
+                zip([str(b) for b in HISTOGRAM_BOUNDS] + ["+Inf"],
+                    self.buckets)
+            ),
+        }
+
+
+class Metrics:
+    """A registry of counters, gauges and histograms.
+
+    All mutators are safe to call unconditionally — the generator keeps
+    a single ``metrics`` reference that is ``None`` when disabled, so
+    the off-path cost is one ``is not None`` check per call site.
+    """
+
+    __slots__ = ("counters", "gauges", "_histograms")
+
+    def __init__(self):
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self._histograms: dict[str, _Histogram] = {}
+
+    def inc(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = _Histogram()
+        hist.observe(value)
+
+    def inc_all(self, counts: dict, prefix: str = "") -> None:
+        """Add a mapping of counter deltas (worker-side cache counts)."""
+        for name, value in counts.items():
+            self.inc(prefix + name, value)
+
+    def snapshot(self) -> dict:
+        """A picklable/JSON-able view of every instrument."""
+        return {
+            "counters": {
+                name: self.counters[name] for name in sorted(self.counters)
+            },
+            "gauges": {
+                name: self.gauges[name] for name in sorted(self.gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].to_dict()
+                for name in sorted(self._histograms)
+            },
+        }
+
+
+def render_text(snapshot: dict | None) -> str:
+    """Prometheus-style text exposition of a metrics snapshot."""
+    if not snapshot:
+        return "(no metrics recorded — enable GenConfig.metrics)"
+    lines: list[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        lines.append(f"{name} {value}")
+    for name, value in snapshot.get("gauges", {}).items():
+        lines.append(f"{name} {value}")
+    for name, hist in snapshot.get("histograms", {}).items():
+        lines.append(f"{name}_count {hist['count']}")
+        lines.append(f"{name}_sum {hist['sum']}")
+        running = 0
+        for bound, count in hist["buckets"].items():
+            # Cumulative per le-bound, matching Prometheus semantics
+            # (the stored buckets are per-bin counts).
+            running += count
+            lines.append(f'{name}_bucket{{le="{bound}"}} {running}')
+    return "\n".join(lines)
+
+
+def render_json(snapshot: dict | None) -> str:
+    """JSON exposition of a metrics snapshot."""
+    return json.dumps(snapshot or {}, indent=2, sort_keys=True)

@@ -1,0 +1,200 @@
+"""Nested-span tracing for the generation pipeline (DESIGN.md §5e).
+
+A :class:`Tracer` records a tree of *spans* — named, timed segments of
+work carrying structured attributes.  The generation pipeline opens one
+root ``generate`` span per query with children for every stage
+(``parse`` → ``analyze`` → ``derive_specs`` → per-spec ``solve`` with
+one ``attempt`` child per retry-ladder rung → ``assemble``).
+
+Spans are plain dicts from birth::
+
+    {"name": str, "start_s": float, "elapsed_s": float,
+     "status": str, "attrs": dict, "children": [span, ...]}
+
+so they pickle across the process pool unchanged (workers collect their
+attempt spans locally and ship the records back inside each
+``SpecResult``; the parent grafts them into its own tree with
+:meth:`Tracer.add_record`) and serialise to the JSON-lines run journal
+without a conversion layer.
+
+Disabled tracing is free by construction: :data:`NULL_TRACER` hands out
+a shared no-op context manager whose record swallows every mutation, so
+instrumented code needs no ``if enabled`` guards and the per-call cost
+is one attribute check — the tier-1 timings are unaffected (the
+acceptance benchmark bounds the overhead at 2%).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Tracer", "NULL_TRACER", "span_path_events", "walk_spans"]
+
+
+class _NoopAttrs(dict):
+    """A mapping that silently drops every write (shared singleton)."""
+
+    def __setitem__(self, key, value):  # pragma: no cover - trivial
+        pass
+
+    def update(self, *args, **kwargs):
+        pass
+
+
+_NOOP_ATTRS = _NoopAttrs()
+
+
+class _NoopRecord(dict):
+    """Stand-in span record handed out by a disabled tracer."""
+
+    def __getitem__(self, key):
+        return _NOOP_ATTRS if key == "attrs" else None
+
+    def __setitem__(self, key, value):
+        pass
+
+
+_NOOP_RECORD = _NoopRecord()
+
+
+class _NoopSpan:
+    """Context manager that does nothing (shared singleton)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return _NOOP_RECORD
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _SpanContext:
+    """One live span: created by :meth:`Tracer.span`, closed on exit."""
+
+    __slots__ = ("_tracer", "_record", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self._record = {
+            "name": name,
+            "start_s": 0.0,
+            "elapsed_s": 0.0,
+            "status": "ok",
+            "attrs": attrs,
+            "children": [],
+        }
+        self._t0 = 0.0
+
+    def __enter__(self) -> dict:
+        tracer = self._tracer
+        self._t0 = time.perf_counter()
+        record = self._record
+        record["start_s"] = round(self._t0 - tracer._t0, 6)
+        parent = tracer._stack[-1] if tracer._stack else None
+        (parent["children"] if parent else tracer.roots).append(record)
+        tracer._stack.append(record)
+        return record
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        record = self._record
+        record["elapsed_s"] = round(time.perf_counter() - self._t0, 6)
+        if exc_type is not None and record["status"] == "ok":
+            record["status"] = f"error:{exc_type.__name__}"
+        tracer = self._tracer
+        if tracer._stack and tracer._stack[-1] is record:
+            tracer._stack.pop()
+        if tracer._sink is not None:
+            path = "/".join(
+                [r["name"] for r in tracer._stack] + [record["name"]]
+            )
+            tracer._sink(record, path)
+        return False
+
+
+class Tracer:
+    """Collects a tree of span records; optionally streams span closes.
+
+    Args:
+        enabled: With ``False`` every :meth:`span` call returns a shared
+            no-op context manager and :meth:`add_record` drops its input
+            — the null object used at every instrumentation site when
+            observability is off.
+        sink: Optional ``sink(record, path)`` callable invoked once per
+            span *close* (children close before parents), where ``path``
+            is the ``/``-joined span names from the root.  The run
+            journal plugs in here.
+    """
+
+    __slots__ = ("enabled", "roots", "_stack", "_sink", "_t0")
+
+    def __init__(self, enabled: bool = True, sink=None):
+        self.enabled = enabled
+        self.roots: list[dict] = []
+        self._stack: list[dict] = []
+        self._sink = sink
+        self._t0 = time.perf_counter()
+
+    def span(self, name: str, **attrs):
+        """Open a child span of the current span (a context manager).
+
+        The ``with`` target is the span's record dict; callers may set
+        ``record["status"]`` or update ``record["attrs"]`` while the
+        span is live.
+        """
+        if not self.enabled:
+            return _NOOP_SPAN
+        return _SpanContext(self, name, attrs)
+
+    def annotate(self, **attrs) -> None:
+        """Merge attributes into the innermost live span, if any."""
+        if self.enabled and self._stack:
+            self._stack[-1]["attrs"].update(attrs)
+
+    def add_record(self, record: dict) -> None:
+        """Graft a prebuilt span record under the current span.
+
+        Used for spans that closed in another process (worker attempt
+        spans shipped back inside ``SpecResult``) or that are
+        synthesised after the fact (specs a deadline killed before they
+        ever ran).  The sink — if any — receives the whole subtree in
+        close order (children before parents).
+        """
+        if not self.enabled:
+            return
+        parent = self._stack[-1] if self._stack else None
+        (parent["children"] if parent else self.roots).append(record)
+        if self._sink is not None:
+            base = "/".join(r["name"] for r in self._stack)
+            for rec, path in span_path_events(record, base):
+                self._sink(rec, path)
+
+
+#: The shared disabled tracer: instrumentation sites use it unguarded.
+NULL_TRACER = Tracer(enabled=False)
+
+
+def span_path_events(record: dict, base: str = ""):
+    """Yield ``(record, path)`` for a span tree in close order.
+
+    Children precede their parent, mirroring the order a live tracer's
+    sink would have observed, so replaying worker spans into the journal
+    produces the same event sequence as an in-process run.
+    """
+    path = f"{base}/{record['name']}" if base else record["name"]
+    for child in record.get("children", ()):
+        yield from span_path_events(child, path)
+    yield record, path
+
+
+def walk_spans(records):
+    """Depth-first pre-order iterator over ``(record, depth)`` pairs."""
+    stack = [(record, 0) for record in reversed(list(records))]
+    while stack:
+        record, depth = stack.pop()
+        yield record, depth
+        for child in reversed(record.get("children", ())):
+            stack.append((child, depth + 1))

@@ -16,8 +16,9 @@ reproducing, qualitatively, the slow quantified path the paper measured.
 from __future__ import annotations
 
 import time
+import warnings
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import InitVar, dataclass
 
 from repro.errors import SolverError, SolverLimitError
 from repro.solver.model import Model, SymbolTable
@@ -45,7 +46,7 @@ class SearchConfig:
     #: the search and every :data:`DEADLINE_CHECK_NODES` nodes — a
     #: deadline overrun raises :class:`SolverLimitError` with
     #: ``kind="deadline"``.
-    deadline_s: float | None = None
+    solve_deadline_s: float | None = None
     fresh_int_values: int = 8
     fresh_str_values: int = 8
     max_domain_size: int = 64
@@ -58,6 +59,36 @@ class SearchConfig:
     #: implementation's re-evaluation behaviour (benchmarks only; results
     #: are identical either way).
     hot_path: bool = True
+    #: Deprecated spelling of :attr:`solve_deadline_s` (the pre-§5e
+    #: name).  Accepted as a constructor keyword only; warns.
+    deadline_s: InitVar[float | None] = None
+
+    def __post_init__(self, deadline_s: float | None) -> None:
+        # Apply only when solve_deadline_s was not itself set: replace()
+        # round-trips the alias property, and the re-passed old value
+        # must not clobber a new solve_deadline_s in the same call.
+        if deadline_s is not None and self.solve_deadline_s is None:
+            warnings.warn(
+                "SearchConfig(deadline_s=...) is deprecated; use "
+                "solve_deadline_s",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            self.solve_deadline_s = deadline_s
+
+
+def _deadline_s_alias(self) -> float | None:
+    warnings.warn(
+        "SearchConfig.deadline_s is deprecated; read solve_deadline_s",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return self.solve_deadline_s
+
+
+# Assigned after the decorator ran so the dataclass machinery sees only
+# the InitVar, not the property, as the ``deadline_s`` class attribute.
+SearchConfig.deadline_s = property(_deadline_s_alias)
 
 
 #: How often (in explored nodes) the search consults the wall clock when
@@ -78,6 +109,10 @@ class SearchOutcome:
     #: construction vs. the backtracking search proper.
     preprocess_elapsed: float = 0.0
     search_elapsed: float = 0.0
+    #: Domain-aggregate memo traffic during domain construction: formulas
+    #: whose ``_domagg`` was reused vs. built (see SearchConfig.hot_path).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -172,6 +207,9 @@ class GroundSearch:
         self._members: dict[str, list[VarInfo]] | None = None
         self._touched: set[str] | None = None
         self._deadline: float | None = None
+        # Domain-aggregate memo traffic (reported via SearchOutcome).
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     # -- preprocessing ------------------------------------------------------
 
@@ -398,7 +436,10 @@ class GroundSearch:
             # across the sibling solves that share the formula object —
             # aggregated once per node and memoized like _fv/_atoms.
             agg = formula.__dict__.get("_domagg") if memo else None
-            if agg is None:
+            if agg is not None:
+                self._cache_hits += 1
+            else:
+                self._cache_misses += 1
                 ints: set[int] = set()
                 offs: set[int] = set()
                 strs: list[tuple[str, int]] = []
@@ -527,15 +568,17 @@ class GroundSearch:
     def run(self) -> SearchOutcome:
         start = time.perf_counter()
         self._deadline = (
-            start + self._config.deadline_s
-            if self._config.deadline_s is not None
+            start + self._config.solve_deadline_s
+            if self._config.solve_deadline_s is not None
             else None
         )
 
         def preprocess_only(model=None, **kw):
             elapsed = time.perf_counter() - start
             return SearchOutcome(
-                model, elapsed=elapsed, preprocess_elapsed=elapsed, **kw
+                model, elapsed=elapsed, preprocess_elapsed=elapsed,
+                cache_hits=self._cache_hits,
+                cache_misses=self._cache_misses, **kw
             )
 
         # Hot-path ablation: with the flag off, variable sets are
@@ -787,9 +830,9 @@ class GroundSearch:
                 ):
                     raise SolverLimitError(
                         f"search exceeded the "
-                        f"{self._config.deadline_s}s deadline",
+                        f"{self._config.solve_deadline_s}s deadline",
                         kind="deadline", nodes=nodes,
-                        limit=self._config.deadline_s,
+                        limit=self._config.solve_deadline_s,
                         elapsed=time.perf_counter() - start,
                     )
                 assignment[rep] = value
@@ -828,8 +871,8 @@ class GroundSearch:
             # discover it DEADLINE_CHECK_NODES nodes later.
             raise SolverLimitError(
                 f"preprocessing exceeded the "
-                f"{self._config.deadline_s}s deadline",
-                kind="deadline", nodes=0, limit=self._config.deadline_s,
+                f"{self._config.solve_deadline_s}s deadline",
+                kind="deadline", nodes=0, limit=self._config.solve_deadline_s,
                 elapsed=preprocess_elapsed,
             )
         found = backtrack(0) is True
@@ -841,6 +884,8 @@ class GroundSearch:
                 classes=len(rep_list), constraints=len(active),
                 preprocess_elapsed=preprocess_elapsed,
                 search_elapsed=search_elapsed,
+                cache_hits=self._cache_hits,
+                cache_misses=self._cache_misses,
             )
         assignment.update(self._fixed)
         full: dict[str, int] = {}
@@ -854,6 +899,8 @@ class GroundSearch:
             classes=len(rep_list), constraints=len(active),
             preprocess_elapsed=preprocess_elapsed,
             search_elapsed=search_elapsed,
+            cache_hits=self._cache_hits,
+            cache_misses=self._cache_misses,
         )
 
 

@@ -48,6 +48,10 @@ class SolveStats:
     node_limit: int = 0
     deadline_s: float | None = None
     limit_hit: str | None = None
+    #: Domain-aggregate memo traffic (see ``SearchOutcome``); summed over
+    #: restarts in lazy mode.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 def unfold_formula(formula: Formula, cache: bool = True) -> Formula:
@@ -263,7 +267,7 @@ class Solver:
                 constraints=len(self._formulas),
                 unfolded=unfold,
                 node_limit=self.config.node_limit,
-                deadline_s=self.config.deadline_s,
+                deadline_s=self.config.solve_deadline_s,
                 limit_hit=exc.kind,
             )
             raise
@@ -288,7 +292,9 @@ class Solver:
                 preprocess_time=outcome.preprocess_elapsed,
                 search_time=outcome.search_elapsed,
                 node_limit=self.config.node_limit,
-                deadline_s=self.config.deadline_s,
+                deadline_s=self.config.solve_deadline_s,
+                cache_hits=outcome.cache_hits,
+                cache_misses=outcome.cache_misses,
             )
             return outcome.model
         return self._solve_lazy()
@@ -325,6 +331,8 @@ class Solver:
         elapsed = 0.0
         preprocess_time = 0.0
         search_time = 0.0
+        cache_hits = 0
+        cache_misses = 0
         iterations = 0
         while True:
             iterations += 1
@@ -348,13 +356,16 @@ class Solver:
             elapsed += outcome.elapsed
             preprocess_time += outcome.preprocess_elapsed
             search_time += outcome.search_elapsed
+            cache_hits += outcome.cache_hits
+            cache_misses += outcome.cache_misses
             if outcome.model is None:
                 self.last_stats = SolveStats(
                     False, nodes, elapsed, outcome.classes,
                     outcome.constraints, unfolded=False, iterations=iterations,
                     preprocess_time=preprocess_time, search_time=search_time,
                     node_limit=self.config.node_limit,
-                    deadline_s=self.config.deadline_s,
+                    deadline_s=self.config.solve_deadline_s,
+                    cache_hits=cache_hits, cache_misses=cache_misses,
                 )
                 return None
             assignment = outcome.model.assignment
@@ -373,7 +384,8 @@ class Solver:
                     outcome.constraints, unfolded=False, iterations=iterations,
                     preprocess_time=preprocess_time, search_time=search_time,
                     node_limit=self.config.node_limit,
-                    deadline_s=self.config.deadline_s,
+                    deadline_s=self.config.solve_deadline_s,
+                    cache_hits=cache_hits, cache_misses=cache_misses,
                 )
                 return outcome.model
             learned.extend(new_instances)

@@ -3,7 +3,7 @@
 from repro.testing.equivalence import classify_survivors, random_database
 from repro.testing.killcheck import KillReport, evaluate_suite, results_differ
 from repro.testing.minimize import MinimizationResult, minimize_suite
-from repro.testing.report import format_kill_report, format_suite
+from repro.testing.report import format_kill_report, format_suite, format_trace
 from repro.testing.workload import WorkloadEntry, WorkloadSuite, generate_workload
 
 __all__ = [
@@ -14,6 +14,7 @@ __all__ = [
     "classify_survivors",
     "format_kill_report",
     "format_suite",
+    "format_trace",
     "minimize_suite",
     "MinimizationResult",
     "generate_workload",

@@ -23,6 +23,43 @@ def format_kill_report(report: KillReport, show_survivors: bool = True) -> str:
     return "\n".join(lines)
 
 
+def format_trace(trace, show_attrs: bool = True) -> str:
+    """Render a span tree (:attr:`TestSuite.trace`) as an indented tree.
+
+    One line per span — name, status, elapsed seconds and its scalar
+    attributes (nested mappings like per-spec cache counts are
+    summarised as ``key={n}``) — children indented under parents::
+
+        generate [ok] 0.004s specs=4 datasets=4
+          parse [ok] 0.000s
+          ...
+          solve [completed] 0.001s spec=0 group=original ...
+            attempt [sat] 0.001s rung=primary ...
+    """
+    from repro.obs.trace import walk_spans
+
+    if not trace:
+        return "(no trace recorded — enable GenConfig.trace)"
+    lines = []
+    for record, depth in walk_spans(trace):
+        line = (
+            f"{'  ' * depth}{record.get('name', '?')} "
+            f"[{record.get('status', '?')}] "
+            f"{record.get('elapsed_s', 0.0):.3f}s"
+        )
+        if show_attrs:
+            parts = []
+            for key, value in (record.get("attrs") or {}).items():
+                if isinstance(value, dict):
+                    parts.append(f"{key}={{{len(value)}}}")
+                else:
+                    parts.append(f"{key}={value}")
+            if parts:
+                line += " " + " ".join(parts)
+        lines.append(line)
+    return "\n".join(lines)
+
+
 def format_suite(suite: TestSuite) -> str:
     """Render a test suite summary as text."""
     lines = [

@@ -14,6 +14,7 @@ killed by the workload datasets.
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
 
 from repro.core.generator import GenConfig, GeneratedDataset, TestSuite, XDataGenerator
@@ -83,6 +84,33 @@ class WorkloadSuite:
         return [entry for entry in self.entries if entry.failed]
 
 
+def _replay_run(journal, sql: str, suite) -> None:
+    """Journal one pooled query's run from its shipped span tree.
+
+    Workers run with the journal path stripped (concurrent appends would
+    interleave) but tracing forced on; the parent replays each suite's
+    spans here in close order, producing the same event sequence an
+    in-process run would have written.
+    """
+    from repro.core.parallel import FailedSuite
+    from repro.obs.trace import span_path_events
+
+    journal.run_start(sql)
+    if isinstance(suite, FailedSuite) or suite is None:
+        error = suite.error if suite is not None else "no result from pool"
+        journal.event("run_abort", ts=time.time(), error=error)
+        return
+    for root in suite.trace or ():
+        for record, path in span_path_events(root):
+            journal.span_sink(record, path)
+    journal.run_end(
+        suite.elapsed,
+        suite.health.ok,
+        dataclasses.asdict(suite.health),
+        suite.metrics,
+    )
+
+
 def generate_workload(
     schema: Schema,
     queries: dict[str, str],
@@ -109,6 +137,13 @@ def generate_workload(
             instead of recording it as a failed entry and continuing
             with the remaining queries (the default; see
             :attr:`WorkloadEntry.error`).
+
+    Observability (DESIGN.md §5e): with ``config.journal_path`` set,
+    every query's run is appended to one journal.  Sequential runs
+    journal live from inside each ``generate()`` call; pooled runs strip
+    the path from worker configs (one writer only) and the parent
+    replays each suite's shipped span tree here, so the journal is
+    complete either way.
     """
     config = config or GenConfig()
     if fail_fast and not config.fail_fast:
@@ -125,12 +160,27 @@ def generate_workload(
         from repro.core.parallel import FailedSuite, generate_suites_parallel
 
         suites = generate_suites_parallel(schema, queries, config, workers)
-        for name, suite in suites.items():
-            if isinstance(suite, FailedSuite):
-                entries.append(failed_entry(name, queries[name], suite.error))
-                continue
-            space = enumerate_mutants(suite.analyzed)
-            entries.append(WorkloadEntry(name, queries[name], suite, space))
+        journal = None
+        if config.journal_path is not None:
+            from repro.obs import JournalWriter
+
+            journal = JournalWriter(config.journal_path)
+        try:
+            for name, suite in suites.items():
+                if journal is not None:
+                    _replay_run(journal, queries[name], suite)
+                if isinstance(suite, FailedSuite):
+                    entries.append(
+                        failed_entry(name, queries[name], suite.error)
+                    )
+                    continue
+                space = enumerate_mutants(suite.analyzed)
+                entries.append(
+                    WorkloadEntry(name, queries[name], suite, space)
+                )
+        finally:
+            if journal is not None:
+                journal.close()
     else:
         generator = XDataGenerator(schema, config)
         for name, sql in queries.items():
