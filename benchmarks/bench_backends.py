@@ -1,0 +1,122 @@
+"""Backend benchmark: engine vs SQLite kill-check wall-clock.
+
+Measures the full differential kill check — load every dataset, execute
+the original plan and every mutant, compare result signatures — for the
+Table I/II university workload on three arms:
+
+* **engine** — the in-process engine (the default path);
+* **sqlite** — every plan rendered to SQL and run on the stdlib
+  ``sqlite3`` module (``PRAGMA foreign_keys=ON``, plans loaded once per
+  dataset through the backend handle cache);
+* **cross-check** — both at once: every execution shadowed on the other
+  backend and the signatures compared (the differential-oracle mode the
+  conformance harness runs in).
+
+All arms must produce identical kill matrices; the benchmark fails
+loudly if they do not.  Results are written to ``BENCH_backends.json``
+at the repository root.
+
+Run:  PYTHONPATH=src python benchmarks/bench_backends.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sqlite3
+import time
+
+from repro.backends import SqliteBackend
+from repro.core.generator import XDataGenerator
+from repro.datasets.university import UNIVERSITY_QUERIES, university_schema
+from repro.mutation.space import enumerate_mutants
+from repro.testing.killcheck import evaluate_suite
+
+ROUNDS = 5
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_backends.json")
+
+
+def build_workload():
+    """Generated suite + mutation space per university query."""
+    schema = university_schema()
+    jobs = []
+    for name, info in UNIVERSITY_QUERIES.items():
+        suite = XDataGenerator(schema).generate(info["sql"])
+        space = enumerate_mutants(suite.analyzed, include_full_outer=True)
+        jobs.append((name, space, suite.databases))
+    return jobs
+
+
+def kill_matrix(jobs, **kwargs):
+    return [
+        [outcome.killed_by for outcome in
+         evaluate_suite(space, databases, **kwargs).outcomes]
+        for _, space, databases in jobs
+    ]
+
+
+ARMS = {
+    "engine": {"backend": None},
+    "sqlite": {"backend": "sqlite"},
+    "cross-check": {"backend": None, "cross_check": True},
+}
+
+
+def main() -> None:
+    jobs = build_workload()
+    mutants = sum(len(space.mutants) for _, space, _ in jobs)
+    datasets = sum(len(dbs) for _, _, dbs in jobs)
+
+    matrices = {name: kill_matrix(jobs, **kwargs)
+                for name, kwargs in ARMS.items()}
+    reference = matrices["engine"]
+    identical = all(m == reference for m in matrices.values())
+    if not identical:
+        raise SystemExit("kill matrices differ across backends!")
+
+    times = {name: [] for name in ARMS}
+    for _ in range(ROUNDS):
+        for name, kwargs in ARMS.items():
+            start = time.perf_counter()
+            kill_matrix(jobs, **kwargs)
+            times[name].append(round(time.perf_counter() - start, 4))
+
+    engine_best = min(times["engine"])
+    result = {
+        "benchmark": "kill-check execution: engine vs sqlite vs cross-check",
+        "workload": {
+            "description": (
+                "Table I/II university queries, full mutation space "
+                "(full outer included), generated suites"
+            ),
+            "queries": len(jobs),
+            "mutants": mutants,
+            "datasets": datasets,
+        },
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "sqlite": sqlite3.sqlite_version,
+        },
+        "arms": {
+            name: {
+                "times_s": times[name],
+                "best_s": min(times[name]),
+                "vs_engine": round(min(times[name]) / engine_best, 2),
+            }
+            for name in ARMS
+        },
+        "kill_matrices_identical": identical,
+    }
+    with open(OUT_PATH, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    for name in ARMS:
+        print(f"{name:12s} best {min(times[name]):.3f}s "
+              f"({result['arms'][name]['vs_engine']}x engine)")
+    print(f"wrote {os.path.normpath(OUT_PATH)}")
+
+
+if __name__ == "__main__":
+    main()

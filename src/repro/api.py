@@ -174,11 +174,22 @@ def generate_workload(
 def evaluate(
     schema: Schema | str, query: str, *,
     config: GenConfig | None = None, include_full_outer: bool = False,
+    backend=None, cross_check: bool = False,
 ) -> Evaluation:
-    """Generate a suite and score it against the query's mutants."""
+    """Generate a suite and score it against the query's mutants.
+
+    ``backend`` selects the execution backend for the kill check
+    (``"engine"``, ``"sqlite"``, or a :class:`repro.backends.Backend`
+    instance); ``cross_check=True`` runs every execution on both the
+    engine and SQLite and raises
+    :class:`repro.backends.BackendDisagreement` if their result bags
+    ever differ (DESIGN.md §5f).
+    """
     run = generate(schema, query, config=config)
     space = enumerate_mutants(
         run.suite.analyzed, include_full_outer=include_full_outer
     )
-    report = evaluate_suite(space, run.databases)
+    report = evaluate_suite(
+        space, run.databases, backend=backend, cross_check=cross_check
+    )
     return Evaluation(run, space, report)

@@ -1,0 +1,65 @@
+"""Execution backends: the engine plus independent differential oracles.
+
+See DESIGN.md §5f.  ``resolve_backend`` maps CLI/API specs ("engine",
+"sqlite", or an already-constructed backend object) to instances.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import (
+    Backend,
+    BackendCapabilities,
+    BackendCapabilityError,
+    BackendDisagreement,
+    BackendError,
+    CrossChecker,
+)
+from repro.backends.engine import EngineBackend
+from repro.backends.sqlite import (
+    SqliteBackend,
+    SqliteHandle,
+    schema_to_sqlite_ddl,
+    undeclarable_foreign_keys,
+)
+
+__all__ = [
+    "Backend",
+    "BackendCapabilities",
+    "BackendCapabilityError",
+    "BackendDisagreement",
+    "BackendError",
+    "CrossChecker",
+    "EngineBackend",
+    "SqliteBackend",
+    "SqliteHandle",
+    "schema_to_sqlite_ddl",
+    "undeclarable_foreign_keys",
+    "resolve_backend",
+    "BACKENDS",
+]
+
+#: Registered backend factories, by name.
+BACKENDS = {
+    "engine": EngineBackend,
+    "sqlite": SqliteBackend,
+}
+
+
+def resolve_backend(spec) -> Backend:
+    """Turn a backend spec into a backend instance.
+
+    Accepts a name from :data:`BACKENDS`, an instance (returned as-is),
+    or ``None`` (the engine).
+    """
+    if spec is None:
+        return EngineBackend()
+    if isinstance(spec, str):
+        try:
+            factory = BACKENDS[spec.lower()]
+        except KeyError:
+            known = ", ".join(sorted(BACKENDS))
+            raise BackendError(
+                f"unknown backend {spec!r} (known: {known})"
+            ) from None
+        return factory()
+    return spec

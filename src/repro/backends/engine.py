@@ -1,0 +1,34 @@
+"""The in-process reference engine as a :class:`Backend`."""
+
+from __future__ import annotations
+
+from repro.backends.base import BackendCapabilities
+from repro.engine.database import Database
+from repro.engine.executor import execute_plan
+from repro.engine.plan import PlanNode
+from repro.engine.relation import Relation
+
+
+class EngineBackend:
+    """Wraps :func:`repro.engine.executor.execute_plan`.
+
+    The handle is the :class:`Database` itself — the engine executes
+    plans over in-memory relations directly.  ``load`` validates
+    integrity so both backends reject inconsistent instances the same
+    way (SQLite enforces PK/FK/NOT NULL declaratively).
+    """
+
+    name = "engine"
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities()
+
+    def load(self, db: Database) -> Database:
+        db.validate()
+        return db
+
+    def execute(self, handle: Database, plan: PlanNode) -> Relation:
+        return execute_plan(plan, handle)
+
+    def close(self, handle: Database) -> None:
+        pass

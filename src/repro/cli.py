@@ -154,6 +154,22 @@ def _build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="include mutations to full outer join",
             )
+        if name in ("evaluate", "workload"):
+            cmd.add_argument(
+                "--backend",
+                choices=("engine", "sqlite"),
+                default="engine",
+                help="execution backend for kill checking (default: the "
+                "in-process engine; 'sqlite' runs every plan on the "
+                "stdlib sqlite3 module instead)",
+            )
+            cmd.add_argument(
+                "--cross-check",
+                action="store_true",
+                help="run every execution on BOTH backends and fail with "
+                "a structured disagreement report if their result bags "
+                "ever differ (differential oracle mode)",
+            )
         if name == "generate":
             cmd.add_argument(
                 "--show-constraints",
@@ -244,7 +260,13 @@ def _run_workload(schema, config, args) -> int:
     if not queries:
         print("error: no '-- name:' sections found", file=sys.stderr)
         return 1
-    suite = generate_workload(schema, queries, config)
+    suite = generate_workload(
+        schema,
+        queries,
+        config,
+        backend=None if args.backend == "engine" else args.backend,
+        cross_check=args.cross_check,
+    )
     print(suite.summary())
     if args.trace or args.metrics:
         for entry in suite.entries:
@@ -329,7 +351,12 @@ def main(argv: list[str] | None = None) -> int:
         space = enumerate_mutants(
             suite.analyzed, include_full_outer=args.full_outer
         )
-        report = evaluate_suite(space, suite.databases)
+        report = evaluate_suite(
+            space,
+            suite.databases,
+            backend=None if args.backend == "engine" else args.backend,
+            cross_check=args.cross_check,
+        )
         print(format_suite(suite))
         print()
         print(format_kill_report(report))
@@ -358,6 +385,12 @@ def main(argv: list[str] | None = None) -> int:
         _print_observability(suite, args)
         return 0
     except XDataError as exc:
+        from repro.backends import BackendDisagreement
+
+        if isinstance(exc, BackendDisagreement):
+            print(f"error: {exc}", file=sys.stderr)
+            print(exc.detail(), file=sys.stderr)
+            return 2
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -398,10 +398,13 @@ class TestSuite:
 def _original_spec(aq: AnalyzedQuery) -> DatasetSpec:
     copies = 1
     if aq.having:
+        from repro.core.kill_having import MAX_COPIES
         from repro.engine.values import sql_compare
 
         # Pick a tuple-set count satisfying every COUNT-style conjunct.
-        for candidate in (1, 2, 3, 4, 5, 6):
+        # COUNT op constant needs up to MAX_COPIES + 1 copies (e.g.
+        # COUNT > MAX_COPIES is first true at MAX_COPIES + 1).
+        for candidate in range(1, MAX_COPIES + 2):
             if all(
                 h.agg.func != "COUNT"
                 or sql_compare(h.op, candidate, h.constant) is True

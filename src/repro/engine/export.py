@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import csv
 import io
+import math
+from fractions import Fraction
 
 from repro.engine.database import Database
 from repro.errors import EngineError
@@ -17,12 +19,52 @@ from repro.schema.catalog import Schema
 from repro.schema.types import SqlType
 
 
+def _string_literal(value: str) -> str:
+    """A SQL string literal that survives line-oriented consumers.
+
+    Embedded newlines/carriage returns are spliced in via ``char(n)``
+    concatenation so the script stays one statement per line (and
+    sqlite3's tokenizer agrees with naive splitters about where a
+    statement ends).
+    """
+    escaped = value.replace("'", "''")
+    if "\n" not in escaped and "\r" not in escaped:
+        return f"'{escaped}'"
+    parts: list[str] = []
+    chunk: list[str] = []
+
+    def flush_chunk():
+        if chunk:
+            parts.append("'" + "".join(chunk) + "'")
+            chunk.clear()
+
+    for ch in escaped:
+        if ch in ("\n", "\r"):
+            flush_chunk()
+            parts.append(f"char({ord(ch)})")
+        else:
+            chunk.append(ch)
+    flush_chunk()
+    return "(" + " || ".join(parts) + ")" if len(parts) > 1 else parts[0]
+
+
 def _sql_literal(value) -> str:
     if value is None:
         return "NULL"
+    # bool before int: str(True) is not a SQL literal.
+    if isinstance(value, bool):
+        return "1" if value else "0"
     if isinstance(value, str):
-        escaped = value.replace("'", "''")
-        return f"'{escaped}'"
+        return _string_literal(value)
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NULL"
+        if math.isinf(value):
+            # Out-of-range literal: parses as +/-Infinity REAL in SQLite.
+            return "9e999" if value > 0 else "-9e999"
+        return repr(value)  # repr round-trips; str() of old Pythons didn't
+    if isinstance(value, Fraction):
+        return repr(float(value))
     return str(value)
 
 
@@ -48,17 +90,30 @@ def topological_table_order(schema: Schema) -> list[str]:
     return ordered
 
 
-def to_insert_script(db: Database, include_empty: bool = False) -> str:
-    """Render the instance as INSERT statements in FK-safe order."""
+def to_insert_script(
+    db: Database, include_empty: bool = False, quote_identifiers: bool = False
+) -> str:
+    """Render the instance as INSERT statements in FK-safe order.
+
+    ``quote_identifiers`` double-quotes table and column names so the
+    script loads even when a name collides with a keyword of the target
+    system (the SQLite backend always sets it).
+    """
+
+    def ident(name: str) -> str:
+        return f'"{name}"' if quote_identifiers else name
+
     lines: list[str] = []
     for table in topological_table_order(db.schema):
         relation = db.relation(table)
         if not relation.rows and not include_empty:
             continue
-        columns = ", ".join(relation.columns)
+        columns = ", ".join(ident(c) for c in relation.columns)
         for row in relation.rows:
             values = ", ".join(_sql_literal(v) for v in row)
-            lines.append(f"INSERT INTO {table} ({columns}) VALUES ({values});")
+            lines.append(
+                f"INSERT INTO {ident(table)} ({columns}) VALUES ({values});"
+            )
     return "\n".join(lines)
 
 

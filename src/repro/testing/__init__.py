@@ -1,14 +1,33 @@
 """Mutation-testing harness: run mutants against datasets, report kills."""
 
+from repro.testing.conformance import (
+    ConformanceCase,
+    ConformanceReport,
+    run_conformance_case,
+    run_conformance_corpus,
+    sample_conformance_query,
+)
 from repro.testing.equivalence import classify_survivors, random_database
-from repro.testing.killcheck import KillReport, evaluate_suite, results_differ
-from repro.testing.minimize import MinimizationResult, minimize_suite
+from repro.testing.killcheck import (
+    KillReport,
+    canonical_value,
+    evaluate_suite,
+    result_signature,
+    results_differ,
+)
+from repro.testing.minimize import (
+    MinimizationResult,
+    minimize_dataset,
+    minimize_suite,
+)
 from repro.testing.report import format_kill_report, format_suite, format_trace
 from repro.testing.workload import WorkloadEntry, WorkloadSuite, generate_workload
 
 __all__ = [
     "evaluate_suite",
     "results_differ",
+    "result_signature",
+    "canonical_value",
     "KillReport",
     "random_database",
     "classify_survivors",
@@ -16,8 +35,14 @@ __all__ = [
     "format_suite",
     "format_trace",
     "minimize_suite",
+    "minimize_dataset",
     "MinimizationResult",
     "generate_workload",
     "WorkloadSuite",
     "WorkloadEntry",
+    "ConformanceCase",
+    "ConformanceReport",
+    "run_conformance_case",
+    "run_conformance_corpus",
+    "sample_conformance_query",
 ]

@@ -9,8 +9,10 @@ still compare equal.
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass, field
+from fractions import Fraction
 
 from repro.engine.database import Database
 from repro.engine.executor import execute_plan
@@ -19,11 +21,34 @@ from repro.engine.relation import Relation
 from repro.mutation.space import Mutant, MutationSpace
 
 
+def canonical_value(value):
+    """Quantise a result value for cross-backend comparison.
+
+    The engine computes division and AVG exactly (``Fraction``) while
+    real systems return floating point; both map to the same canonical
+    form here — 12 significant digits, integral values as int — so the
+    signature comparison has a built-in tolerance.  12 digits leaves
+    ~4 guard digits of double precision for accumulation-order noise
+    while still distinguishing any two values a mutant kill hinges on
+    in practice.
+    """
+    if isinstance(value, Fraction):
+        value = float(value)
+    if isinstance(value, float):
+        if math.isinf(value) or math.isnan(value):
+            return value
+        quantised = float(f"{value:.12g}")
+        return int(quantised) if quantised.is_integer() else quantised
+    return value
+
+
 def result_signature(relation: Relation) -> tuple[tuple[str, ...], Counter]:
-    """(sorted column names, bag of name-aligned rows)."""
+    """(sorted column names, bag of name-aligned canonicalised rows)."""
     order = sorted(range(len(relation.columns)), key=lambda i: relation.columns[i])
     names = tuple(relation.columns[i] for i in order)
-    bag = Counter(tuple(row[i] for i in order) for row in relation.rows)
+    bag = Counter(
+        tuple(canonical_value(row[i]) for i in order) for row in relation.rows
+    )
     return names, bag
 
 
@@ -72,6 +97,8 @@ def evaluate_suite(
     databases: list[Database],
     original_plan: PlanNode | None = None,
     stop_at_first_kill: bool = False,
+    backend=None,
+    cross_check: bool = False,
 ) -> KillReport:
     """Run every mutant against every dataset; record which kills occur.
 
@@ -82,18 +109,53 @@ def evaluate_suite(
             the analyzed query.
         stop_at_first_kill: Record only the first killing dataset per
             mutant (faster for large spaces; the kill counts are equal).
+        backend: Execution backend — a name (``"engine"``, ``"sqlite"``)
+            or a :class:`repro.backends.Backend` instance.  ``None``
+            keeps the direct in-process engine path.
+        cross_check: Shadow every execution on a second backend (SQLite
+            when the primary is the engine, the engine otherwise) and
+            raise :class:`repro.backends.BackendDisagreement` the moment
+            their result bags differ — every kill verdict becomes a
+            differential test of the engine itself.
     """
     plan = original_plan or compile_query(space.analyzed.query)
-    original_results = [execute_plan(plan, db) for db in databases]
-    original_signatures = [result_signature(r) for r in original_results]
-    outcomes: list[MutantOutcome] = []
-    for mutant in space.mutants:
-        outcome = MutantOutcome(mutant)
-        for index, db in enumerate(databases):
-            mutant_result = execute_plan(mutant.plan, db)
-            if result_signature(mutant_result) != original_signatures[index]:
-                outcome.killed_by.append(index)
-                if stop_at_first_kill:
-                    break
-        outcomes.append(outcome)
+    if backend is None and not cross_check:
+        # Hot path: no handle indirection, no integrity re-validation.
+        original_results = [execute_plan(plan, db) for db in databases]
+        original_signatures = [result_signature(r) for r in original_results]
+        outcomes: list[MutantOutcome] = []
+        for mutant in space.mutants:
+            outcome = MutantOutcome(mutant)
+            for index, db in enumerate(databases):
+                mutant_result = execute_plan(mutant.plan, db)
+                if result_signature(mutant_result) != original_signatures[index]:
+                    outcome.killed_by.append(index)
+                    if stop_at_first_kill:
+                        break
+            outcomes.append(outcome)
+        return KillReport(outcomes, len(databases))
+
+    from repro.backends import CrossChecker, resolve_backend
+
+    primary = resolve_backend(backend)
+    reference = None
+    if cross_check:
+        reference = resolve_backend(
+            "engine" if primary.name == "sqlite" else "sqlite"
+        )
+    with CrossChecker(primary, reference) as checker:
+        original_signatures = [
+            checker.signature(plan, db, "original query") for db in databases
+        ]
+        outcomes = []
+        for mutant in space.mutants:
+            outcome = MutantOutcome(mutant)
+            context = f"mutant [{mutant.kind}] {mutant.description}"
+            for index, db in enumerate(databases):
+                got = checker.signature(mutant.plan, db, context)
+                if got != original_signatures[index]:
+                    outcome.killed_by.append(index)
+                    if stop_at_first_kill:
+                        break
+            outcomes.append(outcome)
     return KillReport(outcomes, len(databases))

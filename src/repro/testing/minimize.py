@@ -15,8 +15,10 @@ linear in query size.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.generator import GeneratedDataset, TestSuite
+from repro.engine.database import Database
 from repro.mutation.space import MutationSpace
 from repro.testing.killcheck import KillReport, evaluate_suite
 
@@ -98,3 +100,43 @@ def minimize_suite(
             reason = "kills only mutants covered by kept datasets"
         dropped.append((dataset, reason))
     return MinimizationResult(kept, dropped, report)
+
+
+def minimize_dataset(
+    db: Database, predicate: Callable[[Database], bool]
+) -> Database:
+    """Greedy row-level shrinking: the smallest instance (row-wise local
+    minimum) on which ``predicate`` still holds.
+
+    Used by the conformance harness to shrink a dataset that triggers a
+    backend disagreement down to a human-readable repro.  The predicate
+    is treated as False when it raises, so a reduction that breaks
+    integrity (dangling FK after removing a parent row) or crashes a
+    backend is simply not taken — the minimized dataset stays loadable.
+
+    Rows are removed one at a time until no single-row removal preserves
+    the predicate; generated datasets are a handful of rows, so the
+    quadratic loop is immaterial.
+    """
+
+    def holds(candidate: Database) -> bool:
+        try:
+            return bool(predicate(candidate))
+        except Exception:
+            return False
+
+    current = db.copy()
+    changed = True
+    while changed:
+        changed = False
+        for table in current.table_names:
+            index = 0
+            while index < len(current.relation(table).rows):
+                candidate = current.copy()
+                del candidate.relation(table).rows[index]
+                if holds(candidate):
+                    current = candidate
+                    changed = True
+                else:
+                    index += 1
+    return current

@@ -118,6 +118,8 @@ def generate_workload(
     minimize: bool = True,
     workers: int | None = None,
     fail_fast: bool = False,
+    backend=None,
+    cross_check: bool = False,
 ) -> WorkloadSuite:
     """Generate suites for every query and combine them.
 
@@ -137,6 +139,13 @@ def generate_workload(
             instead of recording it as a failed entry and continuing
             with the remaining queries (the default; see
             :attr:`WorkloadEntry.error`).
+        backend: Execution backend for the union kill matrix — a name
+            (``"engine"``, ``"sqlite"``) or backend instance; ``None``
+            keeps the direct engine path.
+        cross_check: Shadow every kill-matrix execution on the second
+            backend and raise
+            :class:`repro.backends.BackendDisagreement` on any split
+            (see :func:`repro.testing.killcheck.evaluate_suite`).
 
     Observability (DESIGN.md §5e): with ``config.journal_path`` set,
     every query's run is appended to one journal.  Sequential runs
@@ -204,23 +213,45 @@ def generate_workload(
             all_datasets.append((entry_index, dataset_index, dataset))
 
     # Union kill matrix: which combined dataset kills which (query, mutant).
+    checker = None
+    if backend is not None or cross_check:
+        from repro.backends import CrossChecker, resolve_backend
+
+        primary = resolve_backend(backend)
+        reference = None
+        if cross_check:
+            reference = resolve_backend(
+                "engine" if primary.name == "sqlite" else "sqlite"
+            )
+        checker = CrossChecker(primary, reference)
+
+    def signature_of(plan, db, context):
+        if checker is None:
+            return result_signature(execute_plan(plan, db))
+        return checker.signature(plan, db, context)
+
     kills: list[set[tuple[int, int]]] = [set() for _ in all_datasets]
     killable: set[tuple[int, int]] = set()
-    for entry_index, entry in enumerate(entries):
-        if entry.failed:
-            continue
-        plan = compile_query(entry.space.analyzed.query)
-        originals = [
-            result_signature(execute_plan(plan, dataset.db))
-            for _, _, dataset in all_datasets
-        ]
-        for mutant_index, mutant in enumerate(entry.space.mutants):
-            for dataset_pos, (_, _, dataset) in enumerate(all_datasets):
-                got = result_signature(execute_plan(mutant.plan, dataset.db))
-                if got != originals[dataset_pos]:
-                    kills[dataset_pos].add((entry_index, mutant_index))
-                    killable.add((entry_index, mutant_index))
-        entry.total = len(entry.space.mutants)
+    try:
+        for entry_index, entry in enumerate(entries):
+            if entry.failed:
+                continue
+            plan = compile_query(entry.space.analyzed.query)
+            originals = [
+                signature_of(plan, dataset.db, f"{entry.name}: original query")
+                for _, _, dataset in all_datasets
+            ]
+            for mutant_index, mutant in enumerate(entry.space.mutants):
+                context = f"{entry.name}: mutant {mutant.description}"
+                for dataset_pos, (_, _, dataset) in enumerate(all_datasets):
+                    got = signature_of(mutant.plan, dataset.db, context)
+                    if got != originals[dataset_pos]:
+                        kills[dataset_pos].add((entry_index, mutant_index))
+                        killable.add((entry_index, mutant_index))
+            entry.total = len(entry.space.mutants)
+    finally:
+        if checker is not None:
+            checker.close()
 
     selected: set[int] = set()
     if minimize:

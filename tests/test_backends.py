@@ -1,0 +1,224 @@
+"""Backend contract tests: engine vs SQLite (DESIGN.md §5f).
+
+Every backend must produce the same result bags on the university
+workload, reject exactly the datasets the engine's integrity checker
+rejects, and report identical kill verdicts for the paper's walkthrough
+query.  SQLite is exercised both with native outer joins and with the
+RIGHT/FULL compatibility rewrites forced on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import (
+    BACKENDS,
+    Backend,
+    BackendDisagreement,
+    BackendError,
+    CrossChecker,
+    EngineBackend,
+    SqliteBackend,
+    SqliteHandle,
+    resolve_backend,
+    schema_to_sqlite_ddl,
+    undeclarable_foreign_keys,
+)
+from repro.datasets.university import UNIVERSITY_QUERIES
+from repro.engine.database import Database
+from repro.engine.plan import compile_query
+from repro.engine.relation import Relation
+from repro.errors import IntegrityError
+from repro.mutation import enumerate_mutants
+from repro.sql.parser import parse_query
+from repro.testing.killcheck import evaluate_suite, result_signature
+
+FIG1_QUERY = (
+    "SELECT * FROM instructor i, teaches t, course c "
+    "WHERE i.id = t.id AND t.course_id = c.course_id"
+)
+
+BACKEND_FACTORIES = {
+    "engine": EngineBackend,
+    "sqlite": SqliteBackend,
+    "sqlite-rewrites": lambda: SqliteBackend(force_join_rewrites=True),
+}
+
+
+@pytest.fixture(params=sorted(BACKEND_FACTORIES))
+def backend(request):
+    return BACKEND_FACTORIES[request.param]()
+
+
+def signature_on(backend, db, sql):
+    plan = compile_query(parse_query(sql))
+    handle = backend.load(db)
+    try:
+        return result_signature(backend.execute(handle, plan))
+    finally:
+        backend.close(handle)
+
+
+# ---------------------------------------------------------------------------
+# Result-bag agreement on the bundled workload.
+
+
+@pytest.mark.parametrize("name", sorted(UNIVERSITY_QUERIES))
+def test_university_queries_agree_with_engine(backend, name, uni_db):
+    sql = UNIVERSITY_QUERIES[name]["sql"]
+    expected = signature_on(EngineBackend(), uni_db, sql)
+    assert signature_on(backend, uni_db, sql) == expected
+
+
+@pytest.mark.parametrize(
+    "sql",
+    [
+        "SELECT * FROM advisor a RIGHT OUTER JOIN student s ON a.s_id = s.id",
+        "SELECT * FROM advisor a FULL OUTER JOIN instructor i ON a.i_id = i.id",
+        "SELECT * FROM teaches t NATURAL FULL OUTER JOIN takes k",
+        "SELECT i.dept_name, AVG(i.salary), COUNT(*) FROM instructor i "
+        "GROUP BY i.dept_name HAVING COUNT(i.id) > 1",
+        "SELECT i.name, i.salary / 3 FROM instructor i",
+    ],
+)
+def test_dialect_shims_agree_with_engine(backend, sql, uni_db):
+    expected = signature_on(EngineBackend(), uni_db, sql)
+    assert signature_on(backend, uni_db, sql) == expected
+
+
+# ---------------------------------------------------------------------------
+# Integrity parity: SQLite's declarative constraints reject exactly the
+# datasets the engine's integrity checker rejects.
+
+
+def _violating_databases(uni_schema):
+    dup_pk = Database(uni_schema)
+    dup_pk.insert("department", ("Taylor", "Physics", 100000))
+    dup_pk.insert("department", ("Watson", "Physics", 90000))
+
+    null_pk = Database(uni_schema)
+    null_pk.insert("department", ("Taylor", None, 100000))
+
+    dangling_fk = Database(uni_schema)
+    dangling_fk.insert("department", ("Taylor", "Physics", 100000))
+    dangling_fk.insert("instructor", ("10101", "Smith", "History", 60000))
+    return {"dup-pk": dup_pk, "null-pk": null_pk, "dangling-fk": dangling_fk}
+
+
+@pytest.mark.parametrize("kind", ["dup-pk", "null-pk", "dangling-fk"])
+def test_invalid_datasets_rejected_by_every_backend(backend, kind, uni_schema):
+    db = _violating_databases(uni_schema)[kind]
+    with pytest.raises(IntegrityError):
+        db.validate()
+    with pytest.raises(IntegrityError):
+        backend.load(db)
+
+
+def test_valid_dataset_loads_on_every_backend(backend, uni_db):
+    handle = backend.load(uni_db)
+    try:
+        assert handle is not None
+    finally:
+        backend.close(handle)
+
+
+def test_sqlite_enforces_foreign_keys_pragma(uni_db):
+    backend = SqliteBackend()
+    handle = backend.load(uni_db)
+    try:
+        assert isinstance(handle, SqliteHandle)
+        (enabled,) = handle.conn.execute("PRAGMA foreign_keys").fetchone()
+        assert enabled == 1
+    finally:
+        backend.close(handle)
+
+
+def test_university_foreign_keys_all_declarable(uni_schema):
+    assert undeclarable_foreign_keys(uni_schema) == []
+    ddl = schema_to_sqlite_ddl(uni_schema)
+    assert ddl.count("FOREIGN KEY") == sum(
+        len(t.foreign_keys) for t in uni_schema.tables
+    )
+    assert "WITHOUT ROWID" in ddl
+
+
+# ---------------------------------------------------------------------------
+# Registry and capabilities.
+
+
+def test_resolve_backend_registry():
+    assert isinstance(resolve_backend(None), EngineBackend)
+    assert isinstance(resolve_backend("sqlite"), SqliteBackend)
+    assert isinstance(resolve_backend("Engine"), EngineBackend)
+    instance = SqliteBackend()
+    assert resolve_backend(instance) is instance
+    with pytest.raises(BackendError, match="engine"):
+        resolve_backend("postgres")
+    assert set(BACKENDS) == {"engine", "sqlite"}
+
+
+def test_backends_satisfy_protocol(backend):
+    assert isinstance(backend, Backend)
+    assert backend.name in ("engine", "sqlite")
+    assert backend.capabilities().natural_join
+
+
+# ---------------------------------------------------------------------------
+# Cross-check oracle: agreement is silent, disagreement is structured.
+
+
+class _LyingBackend(SqliteBackend):
+    """A SQLite backend that drops one row from every result."""
+
+    def execute(self, handle, plan):
+        relation = super().execute(handle, plan)
+        return Relation(list(relation.columns), list(relation.rows[1:]))
+
+
+def test_cross_checker_passes_when_backends_agree(uni_db):
+    plan = compile_query(parse_query(UNIVERSITY_QUERIES["Q1"]["sql"]))
+    with CrossChecker(EngineBackend(), SqliteBackend()) as checker:
+        signature = checker.signature(plan, uni_db, "Q1")
+    assert signature == signature_on(EngineBackend(), uni_db,
+                                     UNIVERSITY_QUERIES["Q1"]["sql"])
+
+
+def test_cross_checker_raises_structured_disagreement(uni_db):
+    plan = compile_query(parse_query(UNIVERSITY_QUERIES["Q1"]["sql"]))
+    with CrossChecker(EngineBackend(), _LyingBackend()) as checker:
+        with pytest.raises(BackendDisagreement) as excinfo:
+            checker.signature(plan, uni_db, "Q1 original")
+    exc = excinfo.value
+    assert exc.context == "Q1 original"
+    assert exc.dataset is uni_db
+    assert set(exc.results) == {"engine", "sqlite"}
+    assert "SELECT" in exc.sql
+    assert exc.plan == plan
+    detail = exc.detail()
+    assert "Q1 original" in detail
+    assert "engine result" in detail and "sqlite result" in detail
+
+
+# ---------------------------------------------------------------------------
+# Kill-verdict equivalence on the paper's walkthrough query.
+
+
+def test_fig1_kill_verdicts_identical_across_backends(uni_schema):
+    from repro.core.generator import XDataGenerator
+
+    suite = XDataGenerator(uni_schema).generate(FIG1_QUERY)
+    space = enumerate_mutants(suite.analyzed, include_full_outer=True)
+    verdicts = {}
+    for spec in (None, "engine", "sqlite"):
+        report = evaluate_suite(space, suite.databases, backend=spec)
+        verdicts[spec] = [o.killed for o in report.outcomes]
+    assert verdicts[None] == verdicts["engine"] == verdicts["sqlite"]
+    cross = evaluate_suite(
+        space, suite.databases, backend="sqlite", cross_check=True
+    )
+    assert [o.killed for o in cross.outcomes] == verdicts[None]
+    forced = evaluate_suite(
+        space, suite.databases,
+        backend=SqliteBackend(force_join_rewrites=True),
+    )
+    assert [o.killed for o in forced.outcomes] == verdicts[None]

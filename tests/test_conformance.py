@@ -1,0 +1,120 @@
+"""Randomized cross-backend conformance corpus (DESIGN.md §5f).
+
+The CI corpus runs 200 fixed seeds — each one generates a query from the
+mutation grammar, runs the normal data-generation pipeline, and
+cross-checks the original plan plus every mutant on both backends over
+every generated dataset.  A 2000-seed sweep (plus the bundled sample
+database as an extra instance) rides behind ``-m slow``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.backends import BackendDisagreement, CrossChecker, EngineBackend
+from repro.datasets.university import UNIVERSITY_QUERIES
+from repro.engine.plan import compile_query
+from repro.sql.parser import parse_query
+from repro.testing import (
+    run_conformance_case,
+    run_conformance_corpus,
+    sample_conformance_query,
+)
+from repro.testing.conformance import minimize_disagreement
+
+CI_SEEDS = range(200)
+
+
+def test_sampler_is_deterministic(uni_schema):
+    first = [sample_conformance_query(random.Random(s), uni_schema)
+             for s in range(50)]
+    second = [sample_conformance_query(random.Random(s), uni_schema)
+              for s in range(50)]
+    assert first == second
+
+
+def test_sampler_covers_the_mutation_grammar(uni_schema):
+    corpus = [sample_conformance_query(random.Random(s), uni_schema)
+              for s in range(300)]
+    text = "\n".join(corpus)
+    for construct in (
+        "LEFT OUTER JOIN", "RIGHT OUTER JOIN", "FULL OUTER JOIN",
+        "NATURAL", "GROUP BY", "HAVING", "IS NULL", "IS NOT NULL",
+    ):
+        assert construct in text, f"sampler never produced {construct}"
+    for op in ("=", "<", ">", "<=", ">=", "<>"):
+        assert any(f" {op} " in sql for sql in corpus)
+    assert all(parse_query(sql) for sql in corpus)
+
+
+def test_conformance_ci_corpus_has_no_disagreements():
+    report = run_conformance_corpus(CI_SEEDS)
+    assert len(report.cases) == 200
+    # The pipeline legitimately skips a few sampled queries (documented
+    # restrictions: NULL tests on outer joins or reused columns), but
+    # the corpus must stay overwhelmingly checked to mean anything.
+    assert report.checked >= 150
+    assert report.executions > 1000
+    assert "0 disagreements" in report.summary()
+
+
+def test_conformance_case_records_are_reproducible():
+    first = run_conformance_case(4)
+    second = run_conformance_case(4)
+    assert first == second
+    assert first.checked
+    assert first.mutants > 0 and first.datasets > 0
+    assert first.executions == first.datasets * (first.mutants + 1)
+
+
+def test_conformance_skips_are_reported_not_raised():
+    # Seed 82 samples `d.budget IS NOT NULL AND d.budget <= ...`, which
+    # the generator rejects (NULL test on a column reused in another
+    # predicate) — the case must record the reason, not propagate.
+    case = run_conformance_case(82)
+    assert not case.checked
+    assert "UnsupportedSqlError" in case.skipped
+
+
+class _LyingBackend(EngineBackend):
+    """Engine backend that drops one row from every non-empty result."""
+
+    def execute(self, handle, plan):
+        relation = super().execute(handle, plan)
+        from repro.engine.relation import Relation
+
+        return Relation(list(relation.columns), list(relation.rows[1:]))
+
+
+def test_disagreement_carries_minimized_repro(uni_db):
+    plan = compile_query(parse_query(UNIVERSITY_QUERIES["Q1"]["sql"]))
+    primary, reference = EngineBackend(), _LyingBackend()
+    with CrossChecker(primary, reference) as checker:
+        with pytest.raises(BackendDisagreement) as excinfo:
+            checker.signature(plan, uni_db, "Q1")
+    exc = excinfo.value
+    exc.minimized = minimize_disagreement(exc, primary, reference)
+    # The backends disagree whenever Q1 returns at least one row, so the
+    # minimized dataset is the smallest valid instance with one join
+    # result — far below the full sample database.
+    assert exc.minimized is not None
+    original_rows = sum(
+        len(uni_db.relation(t).rows) for t in uni_db.table_names
+    )
+    minimized_rows = sum(
+        len(exc.minimized.relation(t).rows)
+        for t in exc.minimized.table_names
+    )
+    assert minimized_rows < original_rows
+    assert len(exc.minimized.relation("teaches").rows) == 1
+    exc.minimized.validate()
+    assert "minimized dataset" in exc.detail()
+
+
+@pytest.mark.slow
+def test_conformance_sweep_2000_seeds():
+    report = run_conformance_corpus(range(2000), include_sample_db=True)
+    assert report.checked >= 1500
+    assert "0 disagreements" in report.summary()

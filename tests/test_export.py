@@ -4,6 +4,7 @@ import pytest
 
 from repro.engine.database import Database
 from repro.engine.export import (
+    _sql_literal,
     from_csv_map,
     to_csv_map,
     to_insert_script,
@@ -93,3 +94,106 @@ def test_generated_suite_exports_loadable_scripts(uni_schema_nofk):
     for dataset in suite.datasets:
         script = to_insert_script(dataset.db)
         assert script.count("INSERT INTO") == dataset.db.total_rows()
+
+
+# ---------------------------------------------------------------------------
+# SQL literal rendering and the sqlite3 round-trip (DESIGN.md §5f).
+
+
+class TestSqlLiteral:
+    def test_booleans_render_as_integers(self):
+        assert _sql_literal(True) == "1"
+        assert _sql_literal(False) == "0"
+
+    def test_floats_round_trip_through_repr(self):
+        assert _sql_literal(1.5e-7) == "1.5e-07"
+        assert float(_sql_literal(0.1)) == 0.1
+        assert _sql_literal(float("inf")) == "9e999"
+        assert _sql_literal(float("-inf")) == "-9e999"
+        assert _sql_literal(float("nan")) == "NULL"
+
+    def test_fractions_render_as_floats(self):
+        from fractions import Fraction
+
+        assert _sql_literal(Fraction(1, 2)) == "0.5"
+
+    def test_embedded_newlines_spliced_via_char(self):
+        literal = _sql_literal("a\nb")
+        assert literal == "('a' || char(10) || 'b')"
+        assert "\n" not in literal
+        assert _sql_literal("a\rb") == "('a' || char(13) || 'b')"
+        assert _sql_literal("\n") == "char(10)"
+
+    def test_quotes_and_newlines_combined(self):
+        literal = _sql_literal("it's\na 'test'")
+        assert "''" in literal and "char(10)" in literal
+        assert "\n" not in literal
+
+
+def _all_types_schema():
+    from repro.schema.catalog import Column, Schema, Table
+    from repro.schema.types import SqlType
+
+    return Schema(
+        [
+            Table(
+                "t",
+                [
+                    Column("k", SqlType.INT),
+                    Column("i", SqlType.INT),
+                    Column("v", SqlType.VARCHAR),
+                    Column("n", SqlType.NUMERIC),
+                    Column("f", SqlType.FLOAT),
+                    Column("d", SqlType.DATE),
+                ],
+                primary_key=("k",),
+            )
+        ]
+    )
+
+
+def test_insert_script_sqlite3_round_trip_every_type():
+    """Database -> INSERT script -> sqlite3 -> rows, for every SqlType.
+
+    The script must load unmodified into the stdlib sqlite3 module and
+    come back value-identical (after engine normalisation) — this is the
+    contract the SQLite backend's loader builds on.
+    """
+    import sqlite3
+
+    from repro.backends import schema_to_sqlite_ddl
+    from repro.engine.values import normalize_value
+
+    schema = _all_types_schema()
+    db = Database(schema)
+    rows = [
+        (1, -7, "plain", 100, 0.1, 20240101),
+        (2, 0, "it's\na 'multi'\r\nline", -3, 1.5e-7, 19991231),
+        (3, None, "", None, None, None),
+        (4, 2**40, "O'Hara", 12345, -2.5, 1),
+    ]
+    db.insert_rows("t", rows)
+    db.validate()
+
+    conn = sqlite3.connect(":memory:")
+    conn.executescript(schema_to_sqlite_ddl(schema))
+    conn.executescript(to_insert_script(db, quote_identifiers=True))
+    fetched = conn.execute(
+        'SELECT "k", "i", "v", "n", "f", "d" FROM "t" ORDER BY "k"'
+    ).fetchall()
+    conn.close()
+
+    normalized = [tuple(normalize_value(v) for v in row) for row in rows]
+    assert [tuple(normalize_value(v) for v in row) for row in fetched] == (
+        normalized
+    )
+
+
+def test_insert_script_one_statement_per_line_despite_newlines():
+    schema = _all_types_schema()
+    db = Database(schema)
+    db.insert("t", (1, None, "line1\nline2", None, None, None))
+    db.insert("t", (2, None, "plain", None, None, None))
+    script = to_insert_script(db)
+    assert len(script.splitlines()) == 2
+    assert all(l.endswith(";") for l in script.splitlines())
