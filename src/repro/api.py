@@ -38,7 +38,7 @@ from repro.mutation.space import MutationSpace, enumerate_mutants
 from repro.schema.catalog import Schema
 from repro.schema.ddl import parse_ddl
 from repro.solver.search import SearchConfig
-from repro.testing.killcheck import KillReport, evaluate_suite
+from repro.testing.killcheck import KillCheckConfig, KillReport, evaluate_suite
 from repro.testing.workload import WorkloadSuite
 from repro.testing.workload import generate_workload as _generate_workload
 
@@ -175,6 +175,7 @@ def evaluate(
     schema: Schema | str, query: str, *,
     config: GenConfig | None = None, include_full_outer: bool = False,
     backend=None, cross_check: bool = False,
+    kill_config: KillCheckConfig | None = None,
 ) -> Evaluation:
     """Generate a suite and score it against the query's mutants.
 
@@ -183,13 +184,43 @@ def evaluate(
     instance); ``cross_check=True`` runs every execution on both the
     engine and SQLite and raises
     :class:`repro.backends.BackendDisagreement` if their result bags
-    ever differ (DESIGN.md §5f).
+    ever differ (DESIGN.md §5f).  ``kill_config`` carries the kill-check
+    evaluation switches (:class:`repro.testing.killcheck.KillCheckConfig`;
+    the default enables the batched subplan-cache path of DESIGN.md
+    §5g).  Cache traffic lands in ``run.health.subplan_cache`` and, when
+    metrics are on, as ``xdata_subplan_cache_*`` counters in the
+    snapshot.
     """
     run = generate(schema, query, config=config)
     space = enumerate_mutants(
         run.suite.analyzed, include_full_outer=include_full_outer
     )
     report = evaluate_suite(
-        space, run.databases, backend=backend, cross_check=cross_check
+        space, run.databases, backend=backend, cross_check=cross_check,
+        config=kill_config,
     )
+    if report.cache_stats is not None:
+        _reconcile_cache_stats(run.suite, report.cache_stats)
     return Evaluation(run, space, report)
+
+
+def _reconcile_cache_stats(suite: TestSuite, stats: dict) -> None:
+    """Fold kill-check subplan-cache traffic into the suite's telemetry.
+
+    Health gets the plain stats (``format_suite`` prints the hit rate
+    beside the skip taxonomy); a metrics snapshot, when present, gains
+    the matching ``xdata_subplan_cache_*`` counters so the two surfaces
+    reconcile (§5e convention: counter totals equal health fields).
+    """
+    suite.health.subplan_cache = dict(stats)
+    if suite.metrics is not None:
+        from repro.engine.subplan import SUBPLAN_COUNTER_PREFIX
+
+        counters = suite.metrics.setdefault("counters", {})
+        for name, value in (
+            ("hits_total", stats.get("hits", 0)),
+            ("misses_total", stats.get("misses", 0)),
+            ("bytes_total", stats.get("bytes", 0)),
+        ):
+            key = SUBPLAN_COUNTER_PREFIX + name
+            counters[key] = counters.get(key, 0) + value

@@ -181,6 +181,23 @@ class CrossChecker:
                     continue
         return ""
 
+    def release(self, db: Database) -> None:
+        """Close both backends' handles for one dataset.
+
+        The batched kill check loads each dataset once, runs its whole
+        mutant batch, and releases the handles before moving on — so a
+        large suite never holds more than one dataset's connections.
+        """
+        for key in [k for k in self._handles if k[1] == id(db)]:
+            name = key[0]
+            backend = (
+                self.primary
+                if self.primary.name == name
+                else self.reference
+            )
+            if backend is not None:
+                backend.close(self._handles.pop(key))
+
     def close(self) -> None:
         for (name, _), handle in self._handles.items():
             backend = (

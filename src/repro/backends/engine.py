@@ -7,6 +7,7 @@ from repro.engine.database import Database
 from repro.engine.executor import execute_plan
 from repro.engine.plan import PlanNode
 from repro.engine.relation import Relation
+from repro.engine.subplan import SubplanCache
 
 
 class EngineBackend:
@@ -16,9 +17,19 @@ class EngineBackend:
     plans over in-memory relations directly.  ``load`` validates
     integrity so both backends reject inconsistent instances the same
     way (SQLite enforces PK/FK/NOT NULL declaratively).
+
+    ``subplan_cache`` (optional, settable after construction) threads a
+    shared :class:`~repro.engine.subplan.SubplanCache` into every
+    ``execute`` call so a batched kill check shares unchanged subtree
+    computations across its mutant set (DESIGN.md §5g).  The caller
+    owns the cache lifecycle — the kill-check loop drops each dataset's
+    entries when its batch completes.
     """
 
     name = "engine"
+
+    def __init__(self, subplan_cache: SubplanCache | None = None):
+        self.subplan_cache = subplan_cache
 
     def capabilities(self) -> BackendCapabilities:
         return BackendCapabilities()
@@ -28,7 +39,7 @@ class EngineBackend:
         return db
 
     def execute(self, handle: Database, plan: PlanNode) -> Relation:
-        return execute_plan(plan, handle)
+        return execute_plan(plan, handle, self.subplan_cache)
 
     def close(self, handle: Database) -> None:
         pass

@@ -170,6 +170,13 @@ def _build_parser() -> argparse.ArgumentParser:
                 "a structured disagreement report if their result bags "
                 "ever differ (differential oracle mode)",
             )
+            cmd.add_argument(
+                "--no-subplan-cache",
+                action="store_true",
+                help="ablation: disable the batched subplan cache and "
+                "re-execute every mutant tree from scratch (the verdicts "
+                "are identical; see benchmarks/bench_killcheck.py)",
+            )
         if name == "generate":
             cmd.add_argument(
                 "--show-constraints",
@@ -266,6 +273,7 @@ def _run_workload(schema, config, args) -> int:
         config,
         backend=None if args.backend == "engine" else args.backend,
         cross_check=args.cross_check,
+        subplan_cache=not args.no_subplan_cache,
     )
     print(suite.summary())
     if args.trace or args.metrics:
@@ -351,12 +359,23 @@ def main(argv: list[str] | None = None) -> int:
         space = enumerate_mutants(
             suite.analyzed, include_full_outer=args.full_outer
         )
+        from repro.testing.killcheck import KillCheckConfig
+
         report = evaluate_suite(
             space,
             suite.databases,
             backend=None if args.backend == "engine" else args.backend,
             cross_check=args.cross_check,
+            config=(
+                KillCheckConfig.uncached()
+                if args.no_subplan_cache
+                else KillCheckConfig()
+            ),
         )
+        if report.cache_stats is not None:
+            from repro.api import _reconcile_cache_stats
+
+            _reconcile_cache_stats(suite, report.cache_stats)
         print(format_suite(suite))
         print()
         print(format_kill_report(report))

@@ -303,6 +303,10 @@ class SuiteHealth:
     time_by_reason: dict[str, float] = field(default_factory=dict)
     #: ``target`` strings of the budget/error skips, in spec order.
     degraded_targets: list[str] = field(default_factory=list)
+    #: Subplan-cache traffic of the suite's kill check (DESIGN.md §5g),
+    #: filled by :func:`repro.api.evaluate` / the CLI from
+    #: ``KillReport.cache_stats``; empty when no cached kill check ran.
+    subplan_cache: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -329,6 +333,12 @@ class SuiteHealth:
         text = "health: " + " ".join(parts)
         if self.degraded_targets:
             text += "\n  degraded: " + ", ".join(self.degraded_targets)
+        if self.subplan_cache:
+            stats = self.subplan_cache
+            text += (
+                f"\n  subplan cache: {stats.get('hit_rate', 0.0):.0%} hit rate "
+                f"({stats.get('hits', 0)} hits / {stats.get('misses', 0)} misses)"
+            )
         return text
 
 

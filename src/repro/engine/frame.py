@@ -31,6 +31,16 @@ class FrameCol:
     name: str
     sources: tuple[tuple[str, str], ...] = ()
 
+    def __hash__(self) -> int:
+        # Header tuples are hashed on every frame-content interning
+        # probe (subplan cache), so the field-tuple hash the dataclass
+        # would recompute each call is memoized on the instance.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.binding, self.name, self.sources))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     def answers(self, binding: str, name: str) -> bool:
         """True if a qualified reference ``binding.name`` resolves here."""
         if self.binding is not None:
@@ -44,6 +54,12 @@ class Frame:
 
     header: list[FrameCol]
     rows: list[tuple] = field(default_factory=list)
+    #: Memo of successful ``resolve`` lookups — expression evaluation
+    #: resolves the same references once per row, and headers never
+    #: change after construction, so the index is computed once.
+    _resolve_memo: dict = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def resolve(self, binding: str | None, name: str) -> int:
         """Index of the column answering to ``binding.name`` (or bare name).
@@ -51,6 +67,15 @@ class Frame:
         Unqualified names must be unambiguous; coalesced (natural-join)
         columns shadow the per-side originals, as in SQL.
         """
+        memo_key = (binding, name)
+        cached = self._resolve_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        index = self._resolve(binding, name)
+        self._resolve_memo[memo_key] = index
+        return index
+
+    def _resolve(self, binding: str | None, name: str) -> int:
         name = name.lower()
         if binding is not None:
             binding = binding.lower()

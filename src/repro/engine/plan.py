@@ -9,6 +9,7 @@ source of truth for SQL semantics in kill checking.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from repro.errors import UnsupportedSqlError
@@ -127,6 +128,83 @@ def compile_query(query: Query) -> PlanNode:
             tuple(query.having),
         )
     return ProjectNode(plan, tuple(query.select_items), query.distinct)
+
+
+# ---------------------------------------------------------------------------
+# Structural fingerprints
+# ---------------------------------------------------------------------------
+
+#: Cached-fingerprint attribute name.  Plan nodes are frozen dataclasses
+#: (no ``__slots__``), so the digest is stashed on the instance dict with
+#: ``object.__setattr__`` — mutants share subtree objects with the
+#: original plan, and a shared subtree is fingerprinted exactly once.
+_FP_ATTR = "_structural_fingerprint"
+
+_FP_SEP = "\x1f"
+
+
+def _fingerprint_parts(node: PlanNode) -> list[str]:
+    """The canonical token list for one node (children by fingerprint).
+
+    Every semantic field participates: expression fields (predicates,
+    join conditions, select items, group-by columns, HAVING conjuncts)
+    are frozen AST dataclasses whose ``repr`` is deterministic and
+    complete, so any single-field mutation — join kind, comparison
+    operator, aggregate function, flipped NULL test — lands in the
+    stream and changes the digest.
+    """
+    if isinstance(node, ScanNode):
+        return ["Scan", node.table, node.binding]
+    if isinstance(node, SelectNode):
+        return ["Select", plan_fingerprint(node.child), repr(node.predicates)]
+    if isinstance(node, JoinNode):
+        return [
+            "Join",
+            node.kind.name,
+            plan_fingerprint(node.left),
+            plan_fingerprint(node.right),
+            repr(node.condition),
+            repr(node.natural),
+        ]
+    if isinstance(node, ProjectNode):
+        return [
+            "Project",
+            plan_fingerprint(node.child),
+            repr(node.items),
+            repr(node.distinct),
+        ]
+    if isinstance(node, AggregateNode):
+        return [
+            "Aggregate",
+            plan_fingerprint(node.child),
+            repr(node.group_by),
+            repr(node.items),
+            repr(node.having),
+        ]
+    raise TypeError(f"cannot fingerprint plan node {node!r}")
+
+
+def plan_fingerprint(plan: PlanNode) -> str:
+    """A stable structural fingerprint of a plan subtree (hex string).
+
+    Two plans have equal fingerprints iff they are structurally equal —
+    same node kinds, same children, same semantic fields.  The digest is
+    content-based (never identity-based), so the recompiled plan of a
+    comparison mutant shares the fingerprints of every subtree it left
+    unchanged even though the objects are fresh.  Fingerprints are
+    memoized per node instance, which makes re-fingerprinting a mutant
+    batch (and sorting it) cheap.
+    """
+    cached = plan.__dict__.get(_FP_ATTR)
+    if cached is not None:
+        return cached
+    digest = hashlib.blake2b(
+        _FP_SEP.join(_fingerprint_parts(plan)).encode(), digest_size=16
+    ).hexdigest()
+    object.__setattr__(plan, _FP_ATTR, digest)
+    return digest
+
+
 
 
 def plan_scans(plan: PlanNode) -> list[ScanNode]:

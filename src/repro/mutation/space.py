@@ -38,6 +38,26 @@ class MutationSpace:
 
     analyzed: AnalyzedQuery
     mutants: list[Mutant] = field(default_factory=list)
+    #: Lazily compiled plan of the original query — see :attr:`original_plan`.
+    _original_plan: PlanNode | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def original_plan(self) -> PlanNode:
+        """The original query's plan, compiled once per space.
+
+        Kill-check callers (``evaluate_suite``, the workload matrix, the
+        conformance harness, benchmarks) previously recompiled the
+        original for every evaluation pass; the space is the natural
+        owner — one compile per (query, mutation space), shared by every
+        suite and dataset evaluated against it.
+        """
+        if self._original_plan is None:
+            from repro.engine.plan import compile_query
+
+            self._original_plan = compile_query(self.analyzed.query)
+        return self._original_plan
 
     def by_kind(self, kind: str) -> list[Mutant]:
         """Mutants of one kind ('join', 'comparison', 'aggregate', ...)."""

@@ -5,7 +5,9 @@ aggregates worker-side numbers by shipping them back with each result,
 never by sharing a registry across processes):
 
 * **counters** — monotonically increasing totals (solver nodes, cache
-  hits and misses, spec outcomes);
+  hits and misses, spec outcomes; the kill check's subplan cache
+  reports ``xdata_subplan_cache_{hits,misses,bytes}_total``, folded in
+  by :func:`repro.api.evaluate` after the batch completes);
 * **gauges** — last-written values (pool width, degradation flags);
 * **histograms** — running count/sum/min/max plus fixed
   less-than-or-equal buckets, for latencies (solve latency, pool queue

@@ -32,10 +32,11 @@ from repro.backends import (
 from repro.core.generator import GenConfig, XDataGenerator
 from repro.datasets.university import university_sample_database, university_schema
 from repro.engine.database import Database
-from repro.engine.plan import compile_query
+from repro.engine.subplan import SubplanCache
 from repro.errors import XDataError
 from repro.mutation.space import enumerate_mutants
 from repro.schema.catalog import Schema
+from repro.testing.killcheck import mutant_order
 
 #: Single-column equi-join edges of the university schema, as
 #: (left "table alias", right "table alias", join condition) triples.
@@ -382,23 +383,35 @@ def run_conformance_case(
     databases = list(suite.databases)
     if include_sample_db:
         databases.append(university_sample_database(schema))
-    primary = EngineBackend()
+    # The engine side of the cross-check shares unchanged subtrees
+    # across the mutant batch (DESIGN.md §5g); SQLite re-executes every
+    # tree, so the cross-check still compares independent evaluations.
+    cache = SubplanCache()
+    primary = EngineBackend(subplan_cache=cache)
     reference = SqliteBackend(force_join_rewrites=force_join_rewrites)
-    plan = compile_query(space.analyzed.query)
+    plan = space.original_plan
+    order = mutant_order(space.mutants)
     checker = CrossChecker(primary, reference)
     try:
         for db in databases:
             checker.signature(plan, db, f"seed {seed}: original query")
             case.executions += 1
-            for mutant in space.mutants:
+            for i in order:
+                mutant = space.mutants[i]
                 checker.signature(
                     mutant.plan,
                     db,
                     f"seed {seed}: mutant [{mutant.kind}] {mutant.description}",
                 )
                 case.executions += 1
+            checker.release(db)
+            cache.drop_dataset(db)
     except BackendDisagreement as exc:
         if exc.plan is not None:
+            # Detach the cache first: minimization churns through many
+            # short-lived candidate datasets, and ``id(db)`` keys are
+            # only safe while every cached dataset stays alive.
+            primary.subplan_cache = None
             exc.minimized = minimize_disagreement(exc, primary, reference)
         raise
     finally:

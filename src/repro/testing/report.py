@@ -13,6 +13,12 @@ def format_kill_report(report: KillReport, show_survivors: bool = True) -> str:
         f"survivors: {report.total - report.killed}  "
         f"datasets: {report.dataset_count}"
     ]
+    if report.cache_stats is not None:
+        stats = report.cache_stats
+        lines.append(
+            f"  subplan cache: {stats.get('hit_rate', 0.0):.0%} hit rate "
+            f"({stats.get('hits', 0)} hits / {stats.get('misses', 0)} misses)"
+        )
     for index in range(report.dataset_count):
         kills = report.kills_of_dataset(index)
         if kills:

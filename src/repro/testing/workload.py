@@ -20,10 +20,14 @@ from dataclasses import dataclass, field
 from repro.core.generator import GenConfig, GeneratedDataset, TestSuite, XDataGenerator
 from repro.engine.database import Database
 from repro.engine.executor import execute_plan
-from repro.engine.plan import compile_query
+from repro.engine.subplan import SubplanCache
 from repro.mutation.space import MutationSpace, enumerate_mutants
 from repro.schema.catalog import Schema
-from repro.testing.killcheck import result_signature
+from repro.testing.killcheck import (
+    _attach_subplan_cache,
+    mutant_order,
+    result_signature,
+)
 
 
 @dataclass
@@ -120,6 +124,7 @@ def generate_workload(
     fail_fast: bool = False,
     backend=None,
     cross_check: bool = False,
+    subplan_cache: bool = True,
 ) -> WorkloadSuite:
     """Generate suites for every query and combine them.
 
@@ -146,6 +151,11 @@ def generate_workload(
             backend and raise
             :class:`repro.backends.BackendDisagreement` on any split
             (see :func:`repro.testing.killcheck.evaluate_suite`).
+        subplan_cache: Share subtree results across the union
+            kill-matrix batch (DESIGN.md §5g); ``False`` is the
+            ablation arm (``--no-subplan-cache``) that re-executes
+            every tree from scratch.  The matrix is identical either
+            way.
 
     Observability (DESIGN.md §5e): with ``config.journal_path`` set,
     every query's run is appended to one journal.  Sequential runs
@@ -213,6 +223,13 @@ def generate_workload(
             all_datasets.append((entry_index, dataset_index, dataset))
 
     # Union kill matrix: which combined dataset kills which (query, mutant).
+    # Batched per dataset (DESIGN.md §5g): each combined dataset is
+    # visited once, every query's original and fingerprint-sorted mutant
+    # batch runs over it against one shared subplan cache — scans and
+    # join subtrees shared *across queries* are computed once per
+    # dataset too, then the dataset's entries (and backend handles) are
+    # released before moving on.
+    cache = SubplanCache() if subplan_cache else None
     checker = None
     if backend is not None or cross_check:
         from repro.backends import CrossChecker, resolve_backend
@@ -223,32 +240,45 @@ def generate_workload(
             reference = resolve_backend(
                 "engine" if primary.name == "sqlite" else "sqlite"
             )
+        _attach_subplan_cache((primary, reference), cache)
         checker = CrossChecker(primary, reference)
 
     def signature_of(plan, db, context):
         if checker is None:
-            return result_signature(execute_plan(plan, db))
+            return result_signature(execute_plan(plan, db, cache))
         return checker.signature(plan, db, context)
 
+    orders = [
+        mutant_order(entry.space.mutants, fingerprint_sort=subplan_cache)
+        if not entry.failed
+        else []
+        for entry in entries
+    ]
     kills: list[set[tuple[int, int]]] = [set() for _ in all_datasets]
     killable: set[tuple[int, int]] = set()
     try:
-        for entry_index, entry in enumerate(entries):
-            if entry.failed:
-                continue
-            plan = compile_query(entry.space.analyzed.query)
-            originals = [
-                signature_of(plan, dataset.db, f"{entry.name}: original query")
-                for _, _, dataset in all_datasets
-            ]
-            for mutant_index, mutant in enumerate(entry.space.mutants):
-                context = f"{entry.name}: mutant {mutant.description}"
-                for dataset_pos, (_, _, dataset) in enumerate(all_datasets):
-                    got = signature_of(mutant.plan, dataset.db, context)
-                    if got != originals[dataset_pos]:
+        for dataset_pos, (_, _, dataset) in enumerate(all_datasets):
+            db = dataset.db
+            for entry_index, entry in enumerate(entries):
+                if entry.failed:
+                    continue
+                original = signature_of(
+                    entry.space.original_plan, db,
+                    f"{entry.name}: original query",
+                )
+                for mutant_index in orders[entry_index]:
+                    mutant = entry.space.mutants[mutant_index]
+                    context = f"{entry.name}: mutant {mutant.description}"
+                    if signature_of(mutant.plan, db, context) != original:
                         kills[dataset_pos].add((entry_index, mutant_index))
                         killable.add((entry_index, mutant_index))
-            entry.total = len(entry.space.mutants)
+            if checker is not None:
+                checker.release(db)
+            if cache is not None:
+                cache.drop_dataset(db)
+        for entry in entries:
+            if not entry.failed:
+                entry.total = len(entry.space.mutants)
     finally:
         if checker is not None:
             checker.close()
