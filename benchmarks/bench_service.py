@@ -1,0 +1,277 @@
+"""Service benchmark: a classroom burst against the HTTP front end.
+
+Simulates the flagship grading scenario (Chandra et al., PAPERS.md): a
+course submits hundreds of near-identical queries — every student
+spelling the same handful of assignments with their own identifier
+case, whitespace and line breaks — and the service must turn the
+duplication into cache hits instead of redundant solves.
+
+Three arms:
+
+* **cold** — each *distinct* assignment solved once, no cache; the
+  reference payloads and the per-solve baseline time;
+* **burst** — the full submission list POSTed to a real
+  :class:`repro.service.Service` on loopback, results fetched over
+  HTTP;
+* **reconcile** — the server's ``/metrics`` exposition is parsed and
+  its ``xdata_service_cache_{hits,misses}_total`` counters are checked
+  against the burst's own counts.
+
+Hard assertions (the benchmark fails, not just records):
+
+* every burst response is **byte-identical** to the cold payload of its
+  fingerprint;
+* the cache hit rate is ≥ 0.8 (the duplication level of a classroom
+  burst);
+* the ``/metrics`` counters equal the benchmark's observed hits/misses.
+
+Results are written to ``BENCH_service.json`` at the repository root.
+
+Run:  PYTHONPATH=src python benchmarks/bench_service.py [--quick]
+
+``--quick`` (the CI smoke mode) shrinks the burst; assertions and the
+JSON artefact are the same.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import re
+import time
+import urllib.request
+
+from repro.api import Session
+from repro.datasets.university import UNIVERSITY_QUERIES, university_schema
+from repro.schema.ddl import to_ddl
+from repro.service import Service, fingerprint
+from repro.service.cache import canonical_bytes
+from repro.service.jobs import build_payload
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_service.json")
+
+#: Assignments in the burst: Table I/II university queries, small
+#: enough that the benchmark's cold arm stays in CI-smoke budget.
+ASSIGNMENTS = ("Q1", "Q7", "Q8", "Q9", "Q10", "Q11")
+
+
+def respell(sql: str, rng: random.Random) -> str:
+    """One student's spelling of ``sql``: case + whitespace noise.
+
+    Perturbs only outside string literals; identifier and keyword case
+    plus spacing are exactly what the fingerprint canonicalizes away.
+    """
+    segments = sql.split("'")
+    for index in range(0, len(segments), 2):  # even segments: outside quotes
+        words = re.split(r"(\s+)", segments[index])
+        out = []
+        for word in words:
+            if word.isspace():
+                out.append(" " * rng.randint(1, 3) if rng.random() < 0.4 else word)
+            elif word and rng.random() < 0.5:
+                out.append(word.upper() if rng.random() < 0.5 else word.lower())
+            else:
+                out.append(word)
+        segments[index] = "".join(out)
+    return "'".join(segments)
+
+
+def build_burst(duplicates: int, seed: int = 20260808):
+    """The shuffled submission list: one spelling per (query, student)."""
+    rng = random.Random(seed)
+    submissions = []
+    for name in ASSIGNMENTS:
+        sql = UNIVERSITY_QUERIES[name]["sql"]
+        submissions.append((name, sql))  # the canonical-ish original
+        for _ in range(duplicates - 1):
+            submissions.append((name, respell(sql, rng)))
+    rng.shuffle(submissions)
+    return submissions
+
+
+def cold_solves(ddl: str):
+    """Reference payload per assignment, solved without any cache.
+
+    Solves over ``parse_ddl(ddl)`` — the exact schema the server
+    reconstructs from the POSTed text — so byte-comparison against the
+    HTTP responses is apples to apples.
+    """
+    from repro.schema.ddl import parse_ddl
+
+    payloads = {}
+    elapsed = {}
+    for name in ASSIGNMENTS:
+        sql = UNIVERSITY_QUERIES[name]["sql"]
+        session = Session(parse_ddl(ddl))  # fresh per query: no cache
+        start = time.perf_counter()
+        run = session.generate(sql)
+        elapsed[name] = time.perf_counter() - start
+        payloads[fingerprint(ddl, sql)] = canonical_bytes(build_payload(run))
+    return payloads, elapsed
+
+
+def post_job(url: str, body: dict) -> dict:
+    request = urllib.request.Request(
+        url + "/v1/jobs",
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+def wait_done(url: str, job_id: str, timeout_s: float = 600.0) -> dict:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        with urllib.request.urlopen(f"{url}/v1/jobs/{job_id}") as response:
+            status = json.loads(response.read())
+        if status["state"] in ("done", "failed", "cancelled"):
+            return status
+        time.sleep(0.01)
+    raise TimeoutError(job_id)
+
+
+def fetch_result(url: str, job_id: str) -> tuple[bytes, str]:
+    with urllib.request.urlopen(f"{url}/v1/jobs/{job_id}/result") as response:
+        return response.read(), response.headers["X-Xdata-Cache"]
+
+
+def scrape_counters(url: str) -> dict[str, float]:
+    with urllib.request.urlopen(url + "/metrics") as response:
+        text = response.read().decode()
+    counters = {}
+    for line in text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        name, _, value = line.partition(" ")
+        try:
+            counters[name] = float(value)
+        except ValueError:
+            pass
+    return counters
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: smaller burst, same assertions",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=min(4, os.cpu_count() or 1),
+        help="service worker threads",
+    )
+    args = parser.parse_args()
+    duplicates = 10 if args.quick else 50
+
+    ddl = to_ddl(university_schema())
+    burst = build_burst(duplicates)
+    distinct = len(ASSIGNMENTS)
+    expected_hit_rate = (len(burst) - distinct) / len(burst)
+
+    print(f"cold arm: {distinct} distinct solves ...")
+    cold_payloads, cold_elapsed = cold_solves(ddl)
+    cold_total = sum(cold_elapsed.values())
+
+    print(
+        f"burst arm: {len(burst)} submissions "
+        f"({distinct} distinct x {duplicates}) over HTTP ..."
+    )
+    with Service(port=0, workers=args.workers) as service:
+        url = service.url
+        start = time.perf_counter()
+        submitted = [
+            (name, post_job(url, {"schema": ddl, "query": sql}))
+            for name, sql in burst
+        ]
+        for _, job in submitted:
+            status = wait_done(url, job["id"])
+            assert status["state"] == "done", status
+        burst_elapsed = time.perf_counter() - start
+
+        hits = misses = 0
+        mismatches = 0
+        for _, job in submitted:
+            body, cache_header = fetch_result(url, job["id"])
+            if cache_header == "hit":
+                hits += 1
+            else:
+                misses += 1
+            if body != cold_payloads[job["fingerprint"]]:
+                mismatches += 1
+        counters = scrape_counters(url)
+
+    if mismatches:
+        raise SystemExit(
+            f"{mismatches} burst responses differ from their cold payloads!"
+        )
+    hit_rate = hits / len(burst)
+    if hit_rate < 0.8:
+        raise SystemExit(f"cache hit rate {hit_rate:.0%} below the 80% bar")
+    metrics_hits = counters.get("xdata_service_cache_hits_total")
+    metrics_misses = counters.get("xdata_service_cache_misses_total")
+    if metrics_hits != hits or metrics_misses != misses:
+        raise SystemExit(
+            f"/metrics counters (hits={metrics_hits}, misses={metrics_misses})"
+            f" disagree with the benchmark (hits={hits}, misses={misses})"
+        )
+
+    per_submission_cold = cold_total / distinct
+    naive_total = per_submission_cold * len(burst)
+    result = {
+        "benchmark": "generation-as-a-service: classroom burst over HTTP",
+        "quick": args.quick,
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "workload": {
+            "description": (
+                "university assignments, each submitted by many students "
+                "with case/whitespace respellings"
+            ),
+            "assignments": distinct,
+            "submissions": len(burst),
+            "duplicates_per_assignment": duplicates,
+            "expected_hit_rate": round(expected_hit_rate, 4),
+        },
+        "cold": {
+            "total_s": round(cold_total, 4),
+            "per_solve_s": {k: round(v, 4) for k, v in cold_elapsed.items()},
+        },
+        "burst": {
+            "total_s": round(burst_elapsed, 4),
+            "throughput_submissions_per_s": round(
+                len(burst) / burst_elapsed, 1
+            ),
+            "workers": args.workers,
+        },
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hit_rate, 4),
+            "metrics_counters_reconcile": True,
+        },
+        "byte_identical_responses": True,
+        "speedup_vs_no_cache": round(naive_total / burst_elapsed, 2),
+    }
+    with open(OUT_PATH, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"burst {burst_elapsed:.2f}s "
+        f"({result['burst']['throughput_submissions_per_s']} submissions/s), "
+        f"hit rate {hit_rate:.0%}, byte-identical, metrics reconcile"
+    )
+    print(
+        f"speedup vs solving every submission: "
+        f"{result['speedup_vs_no_cache']}x"
+    )
+    print(f"wrote {os.path.normpath(OUT_PATH)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,12 +12,19 @@ type, a wrong comparison operator, a wrong aggregate, a missing join
 condition.  Note that the datasets were generated with no knowledge of
 the submissions.
 
+A whole course grades against one :class:`repro.Session`: the model
+suite is solved once and memoized by content address, and submissions
+that are mere respellings of the model answer (identifier case,
+whitespace, alias names) are recognised by fingerprint before any SQL
+runs.  ``repro serve`` wraps this same session behind HTTP for a
+department-wide deployment.
+
 Run:  python examples/grading_assistant.py
 """
 
 import repro
 from repro import parse_query
-from repro.datasets import schema_with_fks, university_sample_database
+from repro.datasets import schema_with_fks
 from repro.engine import execute_query
 from repro.testing.killcheck import result_signature
 
@@ -28,7 +35,13 @@ CORRECT = (
 )
 
 SUBMISSIONS = {
-    "alice (correct)": CORRECT,
+    # Alice retyped the model answer with her own casing and aliases —
+    # the session's fingerprint spots the duplicate without running it.
+    "alice (respelled but identical)": (
+        "select I.Name, C.Title "
+        "from Instructor I, Teaches T, Course C "
+        "where i.id = t.id and t.course_id = c.course_id and c.credits > 3"
+    ),
     # Bob used a LEFT OUTER JOIN — but the join with course above it
     # filters the null-padded rows away, so his query is *semantically
     # equivalent* to the model answer (the paper's Example 3).  A fair
@@ -59,11 +72,17 @@ SUBMISSIONS = {
 
 def main():
     schema = schema_with_fks(["teaches.id", "teaches.course_id"])
-    run = repro.generate(schema, CORRECT)
-    print(f"generated {len(run.datasets)} datasets from the model answer\n")
+    session = repro.Session(schema)
+    run = session.generate(CORRECT)
+    model_fp = session.fingerprint(CORRECT)
+    print(f"generated {len(run.datasets)} datasets from the model answer")
+    print(f"model answer fingerprint: {model_fp[:16]}...\n")
 
     correct_query = parse_query(CORRECT)
     for student, sql in SUBMISSIONS.items():
+        if session.fingerprint(sql) == model_fp:
+            print(f"PASS  {student}  [fingerprint match, nothing to run]")
+            continue
         submitted = parse_query(sql)
         failures = []
         for index, dataset in enumerate(run.datasets):

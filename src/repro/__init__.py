@@ -54,7 +54,16 @@ from repro.testing import (
 # generate_workload shadows repro.testing's — same signature, but it
 # also accepts raw DDL text for the schema.
 from repro import api
-from repro.api import Evaluation, Run, evaluate, generate, generate_workload
+from repro.api import (
+    EvalOptions,
+    Evaluation,
+    Run,
+    Session,
+    evaluate,
+    fingerprint,
+    generate,
+    generate_workload,
+)
 
 __version__ = "1.0.0"
 
@@ -63,8 +72,11 @@ __all__ = [
     "generate",
     "generate_workload",
     "evaluate",
+    "fingerprint",
     "Run",
     "Evaluation",
+    "EvalOptions",
+    "Session",
     "Budgets",
     "SuiteHealth",
     "XDataGenerator",

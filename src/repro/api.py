@@ -9,6 +9,18 @@ Three call shapes cover the common workflows, each accepting a
 * :func:`evaluate` — generate, enumerate mutants, and score the suite's
   killing power in one call.
 
+For repeated calls against one schema — a grading session, the service
+layer — :class:`Session` holds the parsed schema, generator, backend
+handle and a fingerprint-keyed suite cache across calls::
+
+    with repro.Session(ddl) as session:
+        for submission in submissions:
+            result = session.evaluate(submission)   # equivalent spellings hit the cache
+
+Kill-check evaluation switches travel in one :class:`EvalOptions`
+value rather than a keyword per switch; the old keywords still work but
+warn :class:`DeprecationWarning`.
+
 Everything here is re-exported from :mod:`repro`; this module is the
 documented entry point, and ``tests/test_public_api.py`` locks its
 surface so it cannot drift silently::
@@ -23,7 +35,8 @@ surface so it cannot drift silently::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 
 from repro.core.generator import (
     Budgets,
@@ -45,9 +58,12 @@ from repro.testing.workload import generate_workload as _generate_workload
 __all__ = [
     "Run",
     "Evaluation",
+    "EvalOptions",
+    "Session",
     "generate",
     "generate_workload",
     "evaluate",
+    "fingerprint",
     "GenConfig",
     "SearchConfig",
     "Budgets",
@@ -141,6 +157,72 @@ class Evaluation:
         return self.report.survivors
 
 
+@dataclass(frozen=True)
+class EvalOptions:
+    """Kill-check evaluation switches, bundled (DESIGN.md §5e).
+
+    Replaces the former keyword sprawl on :func:`evaluate`
+    (``include_full_outer`` / ``backend`` / ``cross_check`` /
+    ``kill_config``) with one value that travels through sessions, the
+    job queue and the HTTP service unchanged.
+
+    Attributes:
+        include_full_outer: Enumerate FULL OUTER JOIN mutants too.
+        backend: Kill-check execution backend — ``None`` for the
+            reference engine, ``"engine"`` / ``"sqlite"``, or a
+            :class:`repro.backends.Backend` instance.
+        cross_check: Run every execution on both the engine and SQLite,
+            raising :class:`repro.backends.BackendDisagreement` on any
+            result-bag difference (DESIGN.md §5f).
+        kill_config: Kill-check evaluation switches
+            (:class:`repro.testing.killcheck.KillCheckConfig`); the
+            default enables the batched subplan-cache path (§5g).
+    """
+
+    include_full_outer: bool = False
+    backend: object = None
+    cross_check: bool = False
+    kill_config: KillCheckConfig | None = None
+
+
+#: The deprecated ``evaluate()`` keywords and the EvalOptions field each
+#: maps to; kept as data so the shim and its test stay in lockstep.
+_LEGACY_EVAL_KEYWORDS = (
+    "include_full_outer",
+    "backend",
+    "cross_check",
+    "kill_config",
+)
+
+
+def _coerce_options(options: EvalOptions | None, legacy: dict) -> EvalOptions:
+    """Fold deprecated ``evaluate()`` keywords into an :class:`EvalOptions`.
+
+    Mirrors the ``*_deadline_s`` precedent: old spellings keep working
+    but warn, and mixing old and new spellings is an error rather than a
+    silent precedence rule.
+    """
+    unknown = [k for k in legacy if k not in _LEGACY_EVAL_KEYWORDS]
+    if unknown:
+        raise TypeError(
+            f"evaluate() got unexpected keyword argument {unknown[0]!r}"
+        )
+    if not legacy:
+        return options or EvalOptions()
+    if options is not None:
+        raise TypeError(
+            "pass evaluation switches either via options=EvalOptions(...) "
+            f"or via the deprecated keywords {sorted(legacy)}, not both"
+        )
+    warnings.warn(
+        f"evaluate() keywords {sorted(legacy)} are deprecated; "
+        "pass options=EvalOptions(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return EvalOptions(**legacy)
+
+
 def generate(
     schema: Schema | str, query: str, *, config: GenConfig | None = None
 ) -> Run:
@@ -171,37 +253,187 @@ def generate_workload(
     )
 
 
-def evaluate(
-    schema: Schema | str, query: str, *,
-    config: GenConfig | None = None, include_full_outer: bool = False,
-    backend=None, cross_check: bool = False,
-    kill_config: KillCheckConfig | None = None,
-) -> Evaluation:
-    """Generate a suite and score it against the query's mutants.
-
-    ``backend`` selects the execution backend for the kill check
-    (``"engine"``, ``"sqlite"``, or a :class:`repro.backends.Backend`
-    instance); ``cross_check=True`` runs every execution on both the
-    engine and SQLite and raises
-    :class:`repro.backends.BackendDisagreement` if their result bags
-    ever differ (DESIGN.md §5f).  ``kill_config`` carries the kill-check
-    evaluation switches (:class:`repro.testing.killcheck.KillCheckConfig`;
-    the default enables the batched subplan-cache path of DESIGN.md
-    §5g).  Cache traffic lands in ``run.health.subplan_cache`` and, when
-    metrics are on, as ``xdata_subplan_cache_*`` counters in the
-    snapshot.
-    """
-    run = generate(schema, query, config=config)
+def _evaluate_run(run: Run, options: EvalOptions) -> Evaluation:
+    """Score an existing run against its mutants (shared kill-check tail)."""
     space = enumerate_mutants(
-        run.suite.analyzed, include_full_outer=include_full_outer
+        run.suite.analyzed, include_full_outer=options.include_full_outer
     )
     report = evaluate_suite(
-        space, run.databases, backend=backend, cross_check=cross_check,
-        config=kill_config,
+        space, run.databases, backend=options.backend,
+        cross_check=options.cross_check, config=options.kill_config,
     )
     if report.cache_stats is not None:
         _reconcile_cache_stats(run.suite, report.cache_stats)
     return Evaluation(run, space, report)
+
+
+def evaluate(
+    schema: Schema | str, query: str, *,
+    config: GenConfig | None = None, options: EvalOptions | None = None,
+    **legacy,
+) -> Evaluation:
+    """Generate a suite and score it against the query's mutants.
+
+    Evaluation switches (backend selection, cross-checking, FULL OUTER
+    mutants, kill-check tuning) travel in ``options`` — see
+    :class:`EvalOptions`.  The former per-switch keywords are accepted
+    with a :class:`DeprecationWarning`.  Subplan-cache traffic lands in
+    ``run.health.subplan_cache`` and, when metrics are on, as
+    ``xdata_subplan_cache_*`` counters in the snapshot.
+    """
+    opts = _coerce_options(options, legacy)
+    run = generate(schema, query, config=config)
+    return _evaluate_run(run, opts)
+
+
+def fingerprint(schema: Schema | str, query, config: GenConfig | None = None) -> str:
+    """The content address of a generation request (sha-256 hex digest).
+
+    Two ``(schema, query, config)`` triples share a fingerprint exactly
+    when the generator is guaranteed to produce byte-identical suites
+    for them, which is the contract the suite cache
+    (:class:`repro.service.SuiteCache`) and :class:`Session` rely on to
+    serve a cached result in place of a solve.
+
+    Canonicalization rules (full details in
+    :mod:`repro.service.fingerprint`):
+
+    * the query is parsed and re-printed, normalizing whitespace,
+      keyword and identifier case, literal formatting (``1.50`` →
+      ``1.5``), ``!=`` → ``<>`` and redundant parentheses;
+    * table bindings are renamed positionally (``t1``, ``t2``, ... in
+      FROM-clause order, recursing into subqueries), so alias choice
+      never affects the fingerprint; select-list aliases are kept
+      (lower-cased) because they name output columns;
+    * conjunct, join and select-item order are **not** normalized —
+      reordering preserves SQL semantics but changes the order in which
+      dataset specs are derived, hence the generated bytes;
+    * the schema renders with tables sorted and column order preserved;
+    * the config covers every generator knob except ``workers`` and the
+      observability switches (``trace`` / ``metrics`` /
+      ``journal_path``), which are documented to never change generated
+      bytes.  ``config=None`` fingerprints like ``GenConfig()``.
+
+    Accepts raw DDL/SQL text or parsed :class:`Schema` /
+    :class:`repro.sql.ast.Query` values.
+    """
+    # Imported lazily: repro.service pulls in the job queue and HTTP
+    # server, which themselves import this module.
+    from repro.service.fingerprint import fingerprint as _fingerprint
+
+    return _fingerprint(schema, query, config)
+
+
+class Session:
+    """Repeated generation/evaluation against one schema, with caching.
+
+    A session parses the schema once, reuses one
+    :class:`~repro.core.generator.XDataGenerator`, resolves the backend
+    handle once, and memoizes runs by content fingerprint — so
+    equivalent spellings of one query (case, whitespace, aliases) share
+    a single solve.  This is the execution substrate of the service
+    layer (:mod:`repro.service`) and the natural shape for grading
+    assistants (``examples/grading_assistant.py``).
+
+    Thread-safety: safe for concurrent ``generate`` / ``evaluate``
+    calls; concurrent solves of *different* queries proceed in
+    parallel, duplicate fingerprints are single-flighted by the dict
+    check (a rare double solve is benign — both produce identical
+    suites).
+    """
+
+    def __init__(
+        self,
+        schema: Schema | str,
+        *,
+        config: GenConfig | None = None,
+        options: EvalOptions | None = None,
+    ) -> None:
+        self.schema = _as_schema(schema)
+        self.config = config or GenConfig()
+        self.options = options or EvalOptions()
+        self._generator = XDataGenerator(self.schema, self.config)
+        self._runs: dict[str, Run] = {}
+        self._evaluations: dict[str, Evaluation] = {}
+        self._schema_canon: str | None = None
+
+    # -- content addressing --------------------------------------------
+
+    def fingerprint(self, query) -> str:
+        """The content address of ``query`` under this session's config."""
+        from repro.service.fingerprint import (
+            canonical_config,
+            canonical_query,
+            canonical_schema,
+            fingerprint_parts,
+        )
+
+        if self._schema_canon is None:
+            self._schema_canon = canonical_schema(self.schema)
+            self._config_canon = canonical_config(self.config)
+        return fingerprint_parts(
+            self._schema_canon, canonical_query(query), self._config_canon
+        )
+
+    def canonical_sql(self, query) -> str:
+        """The canonical SQL text this session would actually solve."""
+        from repro.service.fingerprint import canonical_query
+
+        return canonical_query(query)
+
+    # -- cached pipeline stages ----------------------------------------
+
+    def generate(self, query) -> Run:
+        """Generate (or fetch) the suite for ``query``.
+
+        The solve runs over the *canonical* SQL text, so every spelling
+        that shares a fingerprint returns the very same :class:`Run`
+        object — which is what lets the service layer promise
+        byte-identical responses for equivalent submissions.
+        """
+        key = self.fingerprint(query)
+        run = self._runs.get(key)
+        if run is None:
+            run = Run(self._generator.generate(self.canonical_sql(query)))
+            self._runs[key] = run
+        return run
+
+    def evaluate(self, query, options: EvalOptions | None = None) -> Evaluation:
+        """Generate (or fetch) a suite and score it against mutants.
+
+        ``options`` overrides the session default for this call only.
+        Evaluations are memoized per ``(fingerprint, options)`` pair, so
+        re-grading an equivalent submission costs a dict lookup.
+        """
+        opts = options or self.options
+        key = f"{self.fingerprint(query)}|{opts!r}"
+        evaluation = self._evaluations.get(key)
+        if evaluation is None:
+            evaluation = _evaluate_run(self.generate(query), opts)
+            self._evaluations[key] = evaluation
+        return evaluation
+
+    # -- bookkeeping ---------------------------------------------------
+
+    @property
+    def cached_runs(self) -> int:
+        """Number of distinct fingerprints solved so far."""
+        return len(self._runs)
+
+    def clear(self) -> None:
+        """Drop memoized runs and evaluations (schema/config kept)."""
+        self._runs.clear()
+        self._evaluations.clear()
+
+    def close(self) -> None:
+        """Release cached state; the session stays usable but cold."""
+        self.clear()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def _reconcile_cache_stats(suite: TestSuite, stats: dict) -> None:

@@ -7,7 +7,8 @@ Subcommands:
 * ``evaluate`` — generate a suite, enumerate mutants, report the kill
   matrix and classify survivors;
 * ``export``   — write a suite as per-dataset INSERT scripts;
-* ``workload`` — one combined fixture set for a file of named queries.
+* ``workload`` — one combined fixture set for a file of named queries;
+* ``serve``    — run the HTTP generation service (``repro.service``).
 
 The schema comes from a DDL file (``--schema``) or the bundled university
 schema (``--university``, optionally with ``--fk`` edge names).
@@ -202,6 +203,15 @@ def _build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="prune datasets that add no killing power (greedy set cover)",
             )
+    # ``serve`` takes the service's own flags, not the query/schema set
+    # the loop above wires up; main() routes it to repro.service before
+    # this parser ever sees its arguments.  Registered here so it shows
+    # in ``xdata --help``.
+    sub.add_parser(
+        "serve",
+        help="serve generation over HTTP (POST /v1/jobs; see repro.service)",
+        add_help=False,
+    )
     return parser
 
 
@@ -299,6 +309,11 @@ def _run_workload(schema, config, args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``xdata`` command; returns the exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["serve"]:
+        from repro.service.server import main as serve_main
+
+        return serve_main(argv[1:])
     args = _build_parser().parse_args(argv)
     try:
         schema, input_db = _load_schema(args)

@@ -163,3 +163,32 @@ def parse_ddl(ddl: str, allow_nullable_fks: bool = False) -> Schema:
     """Parse CREATE TABLE statements into a validated :class:`Schema`."""
     parser = _DdlParser(tokenize(ddl))
     return Schema(parser.parse_tables(), allow_nullable_fks=allow_nullable_fks)
+
+
+def to_ddl(schema: Schema) -> str:
+    """Render a schema back to CREATE TABLE text :func:`parse_ddl` accepts.
+
+    The inverse direction of :func:`parse_ddl` — needed wherever a
+    schema must travel as text, e.g. a ``POST /v1/jobs`` body for the
+    generation service.  Round-trip property:
+    ``parse_ddl(to_ddl(schema))`` equals ``schema`` table for table
+    (columns, types, nullability, keys).
+    """
+    statements = []
+    for table in schema.tables:
+        lines = []
+        for column in table.columns:
+            parts = [f"    {column.name} {column.sqltype.value}"]
+            if not column.nullable and column.name not in table.primary_key:
+                parts.append("NOT NULL")
+            lines.append(" ".join(parts))
+        if table.primary_key:
+            lines.append(f"    PRIMARY KEY ({', '.join(table.primary_key)})")
+        for fk in table.foreign_keys:
+            lines.append(
+                f"    FOREIGN KEY ({', '.join(fk.columns)}) "
+                f"REFERENCES {fk.ref_table} ({', '.join(fk.ref_columns)})"
+            )
+        body = ",\n".join(lines)
+        statements.append(f"CREATE TABLE {table.name} (\n{body}\n);")
+    return "\n".join(statements)

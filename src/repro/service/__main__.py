@@ -1,0 +1,6 @@
+"""``python -m repro.service`` — run the HTTP generation service."""
+
+from repro.service.server import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

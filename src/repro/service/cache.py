@@ -1,0 +1,196 @@
+"""Content-addressed suite cache: byte-budgeted LRU + JSONL persistence.
+
+The cache stores *canonical payload bytes* — the serialized result of a
+generation or evaluation job — under a content key derived from
+:func:`repro.service.fingerprint.fingerprint`.  Because the key covers
+everything that can change generator output, a hit may be served in
+place of a solve with a byte-identity guarantee: the benchmark
+(``benchmarks/bench_service.py``) asserts cached responses are
+bit-for-bit equal to cold ones.
+
+Eviction is least-recently-used over a byte budget rather than an entry
+count, because suites vary wildly in size (a three-table join suite with
+input-database fixtures can be 100x a single-table one).  An optional
+JSON-lines file persists entries across restarts; the format is
+append-oriented (last write per key wins) so crash-interrupted writes
+cost at most the trailing line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from collections import OrderedDict
+
+__all__ = ["CacheStats", "SuiteCache", "canonical_bytes"]
+
+
+def canonical_bytes(payload: dict) -> bytes:
+    """Serialize a payload dict to canonical JSON bytes.
+
+    Sorted keys and fixed separators make the encoding a pure function
+    of the payload content, which is what lets the service promise
+    byte-identical responses for fingerprint-equal requests.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed via ``/metrics`` and the benchmark report."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "stores": self.stores,
+            "hit_rate": self.hit_rate,
+        }
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class SuiteCache:
+    """Thread-safe byte-budgeted LRU over canonical payload bytes.
+
+    Attributes:
+        max_bytes: Eviction threshold; a single oversized entry is still
+            admitted (the budget bounds *retained* neighbours, it is not
+            an admission filter — rejecting would break the service's
+            "second identical request is a hit" contract).
+        path: Optional JSON-lines persistence file.  Existing entries
+            are loaded eagerly (oldest first, so file order seeds LRU
+            order) and every store appends one line.
+    """
+
+    max_bytes: int = 64 * 1024 * 1024
+    path: str | os.PathLike | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, bytes] = OrderedDict()
+        self._total = 0
+        if self.path is not None and os.path.exists(self.path):
+            self._load()
+
+    # ------------------------------------------------------------------
+    # core operations
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> bytes | None:
+        """Return the cached bytes for ``key``, refreshing its recency."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def peek(self, key: str) -> bytes | None:
+        """Like :meth:`get` but without touching recency or stats."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key: str, value: bytes) -> None:
+        """Store ``value`` under ``key``, evicting LRU entries over budget."""
+        if not isinstance(value, bytes):
+            raise TypeError(f"cache values must be bytes, got {type(value)}")
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._total -= len(old)
+            self._entries[key] = value
+            self._total += len(value)
+            self.stats.stores += 1
+            while self._total > self.max_bytes and len(self._entries) > 1:
+                _, evicted = self._entries.popitem(last=False)
+                self._total -= len(evicted)
+                self.stats.evictions += 1
+            if self.path is not None:
+                self._append(key, value)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        with self._lock:
+            return self._total
+
+    def clear(self) -> None:
+        """Drop all entries (stats are kept; persistence file untouched)."""
+        with self._lock:
+            self._entries.clear()
+            self._total = 0
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def _append(self, key: str, value: bytes) -> None:
+        record = {"key": key, "payload": value.decode("utf-8")}
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def _load(self) -> None:
+        loaded: OrderedDict[str, bytes] = OrderedDict()
+        with open(self.path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn trailing write; later lines can't exist
+                key = record.get("key")
+                payload = record.get("payload")
+                if not isinstance(key, str) or not isinstance(payload, str):
+                    continue
+                loaded.pop(key, None)  # last write wins, with fresh recency
+                loaded[key] = payload.encode("utf-8")
+        self._entries = loaded
+        self._total = sum(len(v) for v in loaded.values())
+        while self._total > self.max_bytes and len(self._entries) > 1:
+            _, evicted = self._entries.popitem(last=False)
+            self._total -= len(evicted)
+            self.stats.evictions += 1
+
+    def compact(self) -> None:
+        """Rewrite the persistence file to one line per live entry.
+
+        The append-only format grows with every store; compaction after
+        a long run (or on graceful shutdown) reclaims superseded lines.
+        No-op for purely in-memory caches.
+        """
+        if self.path is None:
+            return
+        with self._lock:
+            tmp = f"{self.path}.tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for key, value in self._entries.items():
+                    record = {"key": key, "payload": value.decode("utf-8")}
+                    fh.write(json.dumps(record, sort_keys=True) + "\n")
+            os.replace(tmp, self.path)

@@ -359,15 +359,35 @@ class Solver:
             cache_hits += outcome.cache_hits
             cache_misses += outcome.cache_misses
             if outcome.model is None:
+                # An UNSAT answer from the subset search is suspect: its
+                # candidate domains were built from ``ground + learned``
+                # only, and a quantified constraint not yet violated
+                # (hence not yet learned) can be the only source of a
+                # break-point value the model needs.  Confirm against
+                # the full unfolded problem, whose domains and
+                # constraints cover everything.  (A model needs no
+                # confirmation — violated quantifiers are detected and
+                # learned below.)
+                confirm = GroundSearch(
+                    ground + [unfold_formula(f) for f in quantified],
+                    dict(self._infos), self.symbols, self.config,
+                ).run()
+                nodes += confirm.nodes
+                elapsed += confirm.elapsed
+                preprocess_time += confirm.preprocess_elapsed
+                search_time += confirm.search_elapsed
+                cache_hits += confirm.cache_hits
+                cache_misses += confirm.cache_misses
                 self.last_stats = SolveStats(
-                    False, nodes, elapsed, outcome.classes,
-                    outcome.constraints, unfolded=False, iterations=iterations,
+                    confirm.model is not None, nodes, elapsed,
+                    confirm.classes, confirm.constraints,
+                    unfolded=False, iterations=iterations,
                     preprocess_time=preprocess_time, search_time=search_time,
                     node_limit=self.config.node_limit,
                     deadline_s=self.config.solve_deadline_s,
                     cache_hits=cache_hits, cache_misses=cache_misses,
                 )
-                return None
+                return confirm.model
             assignment = outcome.model.assignment
             # Conservative conflict instantiation: learn from the first
             # violated quantifier only, then restart — the restart count

@@ -82,6 +82,51 @@ def test_unfolded_and_lazy_modes_agree(formula_list):
     assert (unfolded is None) == (lazy is None)
 
 
+# Hypothesis-discovered regressions in the lazy mode, pinned: the first
+# made the subset search report UNSAT while the full problem has a model
+# (the only break-point value lived in a not-yet-learned quantifier);
+# the second blew the node limit when domains were widened wholesale
+# instead of confirming the UNSAT against the full unfolded problem.
+_LAZY_MODE_REGRESSIONS = [
+    [
+        b.forall([
+            b.compare("<>", b.var("v0"), b.const(0)),
+            b.compare("<>", b.var("v0"), b.const(0)),
+            b.compare("<", b.var("v1"), b.const(0)),
+            b.compare("<", b.var("v0"), b.var("v1")),
+        ]),
+        b.forall([b.compare("=", b.var("v0"), b.const(-2))]),
+    ],
+    [
+        b.forall([
+            b.compare("=", b.var("v0"), b.const(5)),
+            b.compare("=", b.var("v0"), b.const(-2)),
+            b.compare("=", b.var("v0"), b.const(-7)),
+            b.compare("=", b.var("v0"), b.const(2)),
+        ]),
+        b.neg(b.disj([
+            b.compare("<>", b.var("v3"), b.var("v0")),
+            b.compare("=", b.var("v2"), b.var("v0") + b.const(2)),
+            b.compare("<", b.var("v1"), b.const(-3)),
+            b.compare("<=", b.var("v1"), b.var("v3") + b.const(-3)),
+        ])),
+        b.compare("<>", b.var("v3"), b.var("v0")),
+        b.forall([b.compare("=", b.var("v3"), b.const(1))]),
+    ],
+]
+
+
+def test_lazy_mode_pinned_regressions():
+    for formula_list in _LAZY_MODE_REGRESSIONS:
+        solver = Solver()
+        for name in _VARS:
+            solver.int_var(name)
+        solver.add_all(formula_list)
+        unfolded = solver.solve(unfold=True)
+        lazy = solver.solve(unfold=False)
+        assert (unfolded is None) == (lazy is None)
+
+
 # ---------------------------------------------------------------------------
 # Parser / printer round-trip over generated queries
 # ---------------------------------------------------------------------------

@@ -29,8 +29,11 @@ EXPECTED_ALL = sorted(
         "generate",
         "generate_workload",
         "evaluate",
+        "fingerprint",
         "Run",
         "Evaluation",
+        "EvalOptions",
+        "Session",
         "Budgets",
         "SuiteHealth",
         # pipeline building blocks
@@ -89,9 +92,12 @@ class TestSurfaceLock:
             [
                 "Run",
                 "Evaluation",
+                "EvalOptions",
+                "Session",
                 "generate",
                 "generate_workload",
                 "evaluate",
+                "fingerprint",
                 "GenConfig",
                 "SearchConfig",
                 "Budgets",
@@ -103,6 +109,9 @@ class TestSurfaceLock:
         assert repro.evaluate is api.evaluate
         assert repro.generate_workload is api.generate_workload
         assert repro.Run is api.Run
+        assert repro.Session is api.Session
+        assert repro.EvalOptions is api.EvalOptions
+        assert repro.fingerprint is api.fingerprint
 
 
 class TestFacade:
@@ -189,6 +198,111 @@ class TestDeprecatedAliases:
         search = SearchConfig(solve_deadline_s=4.0)
         assert dataclasses.replace(search).solve_deadline_s == 4.0
         assert pickle.loads(pickle.dumps(search)).solve_deadline_s == 4.0
+
+
+class TestEvalOptions:
+    """The EvalOptions bundle and the legacy-keyword deprecation shim."""
+
+    def test_evaluate_accepts_options_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            scored = repro.evaluate(
+                DDL, SQL, options=repro.EvalOptions(include_full_outer=True)
+            )
+        assert scored.total > 0
+
+    @pytest.mark.parametrize(
+        "keyword, value",
+        [
+            ("include_full_outer", True),
+            ("backend", "sqlite"),
+            ("cross_check", True),
+            ("kill_config", None),
+        ],
+    )
+    def test_legacy_keywords_warn_and_apply(self, keyword, value):
+        with pytest.warns(DeprecationWarning, match="EvalOptions"):
+            scored = repro.evaluate(DDL, SQL, **{keyword: value})
+        assert scored.killed == scored.total
+
+    def test_legacy_keyword_result_matches_options_result(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = repro.evaluate(DDL, SQL, include_full_outer=True)
+        modern = repro.evaluate(
+            DDL, SQL, options=repro.EvalOptions(include_full_outer=True)
+        )
+        assert legacy.total == modern.total
+        assert legacy.killed == modern.killed
+
+    def test_mixing_options_and_legacy_is_an_error(self):
+        with pytest.raises(TypeError, match="not both"):
+            repro.evaluate(
+                DDL, SQL, options=repro.EvalOptions(), cross_check=True
+            )
+
+    def test_unknown_keyword_is_an_error(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            repro.evaluate(DDL, SQL, not_a_switch=1)
+
+    def test_options_are_frozen_and_hashable(self):
+        options = repro.EvalOptions(cross_check=True)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            options.cross_check = False
+        assert hash(options) == hash(repro.EvalOptions(cross_check=True))
+
+
+class TestSession:
+    def test_session_memoizes_equivalent_spellings(self):
+        with repro.Session(DDL) as session:
+            first = session.generate(SQL)
+            again = session.generate("select  V from T where v>5")
+            assert first is again
+            assert session.cached_runs == 1
+
+    def test_session_distinguishes_different_queries(self):
+        with repro.Session(DDL) as session:
+            session.generate(SQL)
+            session.generate("SELECT v FROM t WHERE v > 6")
+            assert session.cached_runs == 2
+
+    def test_session_evaluate_memoizes_and_scores(self):
+        session = repro.Session(DDL)
+        scored = session.evaluate(SQL)
+        assert scored.killed == scored.total > 0
+        assert session.evaluate("SELECT v FROM t WHERE v > 5") is scored
+        per_call = session.evaluate(
+            SQL, options=repro.EvalOptions(include_full_outer=True)
+        )
+        assert per_call is not scored
+
+    def test_session_fingerprint_matches_module_fingerprint(self):
+        session = repro.Session(DDL)
+        assert session.fingerprint(SQL) == repro.fingerprint(DDL, SQL)
+
+    def test_close_clears_the_memo(self):
+        session = repro.Session(DDL)
+        session.generate(SQL)
+        session.close()
+        assert session.cached_runs == 0
+
+
+class TestFingerprint:
+    def test_equivalent_spellings_collide(self):
+        assert repro.fingerprint(DDL, SQL) == repro.fingerprint(
+            DDL, "select  v from T\nwhere V > 5"
+        )
+
+    def test_different_semantics_do_not_collide(self):
+        assert repro.fingerprint(DDL, SQL) != repro.fingerprint(
+            DDL, "SELECT v FROM t WHERE v > 6"
+        )
+
+    def test_config_affects_fingerprint_but_observability_does_not(self):
+        base = repro.fingerprint(DDL, SQL)
+        assert base == repro.fingerprint(
+            DDL, SQL, GenConfig(trace=True, metrics=True, workers=4)
+        )
+        assert base != repro.fingerprint(DDL, SQL, GenConfig(unfold=False))
 
 
 class TestBudgets:
