@@ -1,0 +1,107 @@
+"""Campaign throughput benchmark: cases/sec across the worker pool.
+
+Runs a fixed-seed differential fuzzing campaign (all three oracles,
+corpus evolution, per-round checkpointing — the full production path)
+at several worker-pool widths and reports sustained throughput in
+cases per second, plus the per-case execution counts that explain it.
+Each arm runs in a fresh directory, so checkpoint/restore costs are in
+the measurement — that is the price the crash-safety design actually
+charges at runtime.
+
+Results are written to ``BENCH_campaign.json`` at the repository root.
+
+Run:  PYTHONPATH=src python benchmarks/bench_campaign.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import shutil
+import tempfile
+import time
+
+from repro.campaign import CampaignConfig, CampaignDriver
+
+SEED = 1234
+CASES = 48
+ROUND_SIZE = 8
+ROUNDS = 3
+WORKER_ARMS = (1, 2, 4)
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_campaign.json")
+
+
+def run_arm(workers: int) -> dict:
+    times = []
+    last_report = None
+    for _ in range(ROUNDS):
+        directory = tempfile.mkdtemp(prefix=f"bench-campaign-{workers}w-")
+        try:
+            config = CampaignConfig(
+                dir=directory,
+                seed=SEED,
+                cases=CASES,
+                round_size=ROUND_SIZE,
+                workers=workers,
+                case_deadline=120.0,
+            )
+            start = time.perf_counter()
+            last_report = CampaignDriver(config).run()
+            times.append(round(time.perf_counter() - start, 4))
+            if not last_report["completed"]:
+                raise SystemExit(f"arm workers={workers} did not complete")
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+    best = min(times)
+    return {
+        "times_s": times,
+        "best_s": best,
+        "cases_per_s": round(CASES / best, 2),
+        "executions": last_report["stats"]["executions"],
+        "checks": last_report["stats"]["checks"],
+        "skipped": last_report["stats"]["skipped"],
+        "corpus_size": last_report["corpus_size"],
+        "bugs": last_report["bugs"],
+    }
+
+
+def main() -> None:
+    arms = {}
+    for workers in WORKER_ARMS:
+        arms[str(workers)] = run_arm(workers)
+    baseline = arms[str(WORKER_ARMS[0])]["cases_per_s"]
+    for arm in arms.values():
+        arm["speedup_vs_1w"] = round(arm["cases_per_s"] / baseline, 2)
+    result = {
+        "benchmark": "campaign throughput: cases/sec across worker pool",
+        "workload": {
+            "description": (
+                "fixed-seed campaign, all oracles (cross-check, "
+                "duplicate-sensitivity, join-identity), corpus "
+                "evolution and per-round atomic checkpointing included"
+            ),
+            "seed": SEED,
+            "cases": CASES,
+            "round_size": ROUND_SIZE,
+        },
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "arms": arms,
+    }
+    with open(OUT_PATH, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    for workers, arm in arms.items():
+        print(
+            f"workers={workers}: best {arm['best_s']:.3f}s, "
+            f"{arm['cases_per_s']} cases/s "
+            f"({arm['speedup_vs_1w']}x vs 1 worker)"
+        )
+    print(f"wrote {os.path.normpath(OUT_PATH)}")
+
+
+if __name__ == "__main__":
+    main()

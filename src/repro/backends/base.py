@@ -56,13 +56,21 @@ class BackendDisagreement(BackendError):
     ``minimized`` is filled in by the conformance harness when it manages
     to shrink the dataset while preserving the disagreement.
 
+    Self-check oracles (``repro.campaign.oracles``) raise the same
+    exception for single-backend splits — two semantically equivalent
+    plans returning different bags — with ``oracle`` naming the oracle
+    that vetoed and ``results`` keyed by plan label instead of backend
+    name.
+
     Attributes:
         context: What was being executed ("original query" or a mutant
             description).
         sql: SQL text of the query, as rendered for the non-engine
             backend (empty when unavailable).
         dataset: The :class:`Database` both backends loaded.
-        results: Backend name -> :class:`Relation` returned.
+        results: Backend name (or plan label) -> :class:`Relation`.
+        oracle: Name of the oracle that raised ("cross-check" for the
+            dual-execution checker).
         minimized: Optional shrunken dataset that still disagrees.
     """
 
@@ -73,6 +81,7 @@ class BackendDisagreement(BackendError):
         dataset: Database,
         results: dict[str, Relation],
         plan: PlanNode | None = None,
+        oracle: str = "cross-check",
     ):
         names = " vs ".join(results)
         sizes = ", ".join(f"{n}: {len(r)} rows" for n, r in results.items())
@@ -84,11 +93,13 @@ class BackendDisagreement(BackendError):
         self.dataset = dataset
         self.results = results
         self.plan = plan
+        self.oracle = oracle
         self.minimized: Database | None = None
 
     def detail(self) -> str:
         """Multi-line forensic rendering (dataset + both bags)."""
-        lines = [str(self), f"sql: {self.sql}", "dataset:"]
+        lines = [str(self), f"oracle: {self.oracle}", f"sql: {self.sql}",
+                 "dataset:"]
         lines.append(self.dataset.pretty())
         for name, relation in self.results.items():
             lines.append(f"{name} result ({', '.join(relation.columns)}):")

@@ -1,0 +1,148 @@
+"""Deduplicated, crash-safe bug triage for the campaign.
+
+A campaign that runs for hours will rediscover the same logic bug
+thousands of times — every corpus member descended from the triggering
+query trips the same oracle.  The tracker therefore keys bugs by a
+*structural fingerprint* of the minimized repro: oracle name, plan
+fingerprint, and the canonical row bags of the disagreeing results.
+Two cases whose minimized repros share that triple are one bug.
+
+Persistence is crash-safe by construction: ``bugs.jsonl`` is always
+rewritten in full from the in-memory store into a temp file and
+atomically renamed (never appended), so a replayed round after
+``--resume`` cannot double-write a report, and a SIGKILL mid-flush
+leaves the previous complete file in place.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+
+__all__ = ["BugRecord", "BugTracker", "bug_fingerprint"]
+
+
+def _canonical_rows(rows) -> list:
+    """Rows as sorted JSON-able lists (NULL sorts as a sentinel string)."""
+    return sorted(
+        [["\0null" if v is None else v for v in row] for row in rows],
+        key=repr,
+    )
+
+
+def bug_fingerprint(oracle: str, plan_fp: str, results: dict) -> str:
+    """Stable structural identity of a minimized disagreement.
+
+    ``results`` maps label -> list-of-rows (in practice: the tables of
+    the minimized repro dataset).  Labels are excluded on purpose — the
+    identity is (oracle, plan shape, minimized data content), which
+    converges across rediscoveries of the same bug by descendant corpus
+    members, while label strings vary with oracle internals.
+    """
+    payload = json.dumps(
+        {
+            "oracle": oracle,
+            "plan": plan_fp,
+            "bags": sorted(
+                (_canonical_rows(rows) for rows in results.values()),
+                key=repr,
+            ),
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
+
+
+@dataclass
+class BugRecord:
+    """One deduplicated bug report."""
+
+    fingerprint: str
+    oracle: str
+    context: str
+    sql: str
+    seed_case: int
+    minimized_dataset: dict
+    results: dict
+    #: How many cases rediscovered this bug (first find included).
+    hits: int = 1
+
+    def to_state(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "oracle": self.oracle,
+            "context": self.context,
+            "sql": self.sql,
+            "seed_case": self.seed_case,
+            "minimized_dataset": self.minimized_dataset,
+            "results": self.results,
+            "hits": self.hits,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> BugRecord:
+        return cls(**state)
+
+
+@dataclass
+class BugTracker:
+    """In-memory deduped store with atomic JSONL persistence."""
+
+    path: str | None = None
+    bugs: dict[str, BugRecord] = field(default_factory=dict)
+
+    def record(self, bug: BugRecord) -> bool:
+        """Add ``bug``; returns True when it is new, False on rediscovery."""
+        existing = self.bugs.get(bug.fingerprint)
+        if existing is not None:
+            existing.hits += 1
+            return False
+        self.bugs[bug.fingerprint] = bug
+        return True
+
+    def __len__(self) -> int:
+        return len(self.bugs)
+
+    @property
+    def fingerprints(self) -> set[str]:
+        return set(self.bugs)
+
+    def flush(self) -> None:
+        """Atomically rewrite the JSONL report file from memory."""
+        if self.path is None:
+            return
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for fingerprint in sorted(self.bugs):
+                    fh.write(
+                        json.dumps(
+                            self.bugs[fingerprint].to_state(), sort_keys=True
+                        )
+                        + "\n"
+                    )
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    @classmethod
+    def load(cls, path: str) -> BugTracker:
+        """Restore the store from a previous flush (missing file = empty)."""
+        tracker = cls(path=path)
+        if not os.path.exists(path):
+            return tracker
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                bug = BugRecord.from_state(json.loads(line))
+                tracker.bugs[bug.fingerprint] = bug
+        return tracker

@@ -1,0 +1,133 @@
+"""Atomic campaign checkpoints (write-temp-then-rename JSON).
+
+One checkpoint file captures everything needed to resume a campaign
+deterministically after SIGKILL:
+
+* ``next_case`` / ``round`` — scheduling position (results are applied
+  in case-index order, so the position is exact, not approximate);
+* ``rng_state`` — the parent RNG's :func:`random.Random.getstate`,
+  converted losslessly to/from JSON (the Mersenne state is a tuple of
+  ints);
+* ``corpus`` — the full population (:meth:`Corpus.state`);
+* ``seen_bugs`` — fingerprints already reported, so replayed rounds
+  cannot produce duplicate reports;
+* ``stats`` — monotone counters for reporting continuity.
+
+The file is written with fsync to a pid-unique temp name and
+``os.replace``d into place, so a crash at any instant leaves either
+the previous complete checkpoint or the new complete checkpoint —
+never a torn file.  Wall-clock fields (``ts``) live alongside but are
+excluded from determinism comparisons by the test suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.campaign.corpus import Corpus
+
+__all__ = ["CampaignState", "load_checkpoint", "save_checkpoint"]
+
+_VERSION = 1
+
+
+def rng_state_to_json(state) -> list:
+    """``random.Random.getstate()`` -> JSON-able structure."""
+    version, internal, gauss = state
+    return [version, list(internal), gauss]
+
+
+def rng_state_from_json(state) -> tuple:
+    version, internal, gauss = state
+    return (version, tuple(internal), gauss)
+
+
+@dataclass
+class CampaignState:
+    """The resumable portion of a campaign."""
+
+    seed: int
+    next_case: int = 0
+    round: int = 0
+    rng_state: tuple | None = None
+    corpus: Corpus = field(default_factory=Corpus)
+    seen_bugs: set[str] = field(default_factory=set)
+    stats: dict = field(
+        default_factory=lambda: {
+            "cases": 0,
+            "executions": 0,
+            "checks": 0,
+            "bugs": 0,
+            "rediscoveries": 0,
+            "requeued": 0,
+            "skipped": 0,
+            "admitted": 0,
+        }
+    )
+
+    def capture_rng(self, rng: random.Random) -> None:
+        self.rng_state = rng.getstate()
+
+    def make_rng(self) -> random.Random:
+        rng = random.Random(self.seed)
+        if self.rng_state is not None:
+            rng.setstate(self.rng_state)
+        return rng
+
+    def to_json(self) -> dict:
+        return {
+            "version": _VERSION,
+            "ts": time.time(),
+            "seed": self.seed,
+            "next_case": self.next_case,
+            "round": self.round,
+            "rng_state": (
+                None
+                if self.rng_state is None
+                else rng_state_to_json(self.rng_state)
+            ),
+            "corpus": self.corpus.state(),
+            "seen_bugs": sorted(self.seen_bugs),
+            "stats": self.stats,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> CampaignState:
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {data.get('version')!r}"
+            )
+        state = cls(seed=data["seed"])
+        state.next_case = data["next_case"]
+        state.round = data["round"]
+        if data["rng_state"] is not None:
+            state.rng_state = rng_state_from_json(data["rng_state"])
+        state.corpus = Corpus.from_state(data["corpus"])
+        state.seen_bugs = set(data["seen_bugs"])
+        state.stats.update(data["stats"])
+        return state
+
+
+def save_checkpoint(path: str, state: CampaignState) -> None:
+    """Atomically persist ``state`` to ``path``."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(state.to_json(), fh, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def load_checkpoint(path: str) -> CampaignState:
+    with open(path, encoding="utf-8") as fh:
+        return CampaignState.from_json(json.load(fh))

@@ -1,0 +1,408 @@
+"""The campaign driver: crash-safe round-based differential fuzzing.
+
+The driver turns the one-shot conformance harness into a long-running
+campaign (DESIGN.md §5i).  Work is organised into *rounds*:
+
+1. **Draw** — from the checkpointed RNG, pick parents from the corpus,
+   evolve children (:func:`repro.mutation.evolve.evolve_query`), admit
+   novel children, and materialise one :class:`CaseTask` per case.
+   Every draw is a deterministic function of the checkpoint, so a
+   replayed round re-creates the identical task list.
+2. **Execute** — fan the tasks over a :class:`SupervisedPool` with
+   backpressure (inflight ≤ workers, pending ≤ round size — the queue
+   can never outgrow memory).  A hang watchdog kills the pool when the
+   oldest inflight case exceeds its deadline; worker crashes surface as
+   broken futures.  Either way every inflight task takes a *strike*
+   and is requeued (crashes cannot be attributed to a single inflight
+   case); tasks striking out are recorded as infrastructure skips so
+   one poisonous query cannot wedge the campaign.
+3. **Apply** — results are folded into campaign state in case-index
+   order (never completion order), so counters, bug dedup, and corpus
+   accounting are identical no matter how the pool interleaved.
+4. **Checkpoint** — bug reports are flushed and the full state written
+   via atomic rename.  SIGKILL at any instant loses at most the round
+   in flight; ``resume=True`` replays it bit-identically.
+
+SIGINT/SIGTERM request a *graceful drain*: the current round finishes,
+a final checkpoint lands, and the journal records a clean
+``campaign_end`` with ``ok=False`` (interrupted, resumable).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, wait
+from dataclasses import dataclass, field
+
+from repro.campaign.bugs import BugRecord, BugTracker
+from repro.campaign.case import CaseResult, CaseTask, run_case
+from repro.campaign.checkpoint import (
+    CampaignState,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.campaign.oracles import ORACLES
+from repro.core.parallel import SupervisedPool
+from repro.datasets.university import university_schema
+from repro.mutation.evolve import evolve_query
+from repro.obs import JournalWriter, Metrics
+from repro.testing.conformance import sample_conformance_query
+
+__all__ = ["CampaignConfig", "CampaignDriver", "CHECKPOINT", "BUGS", "JOURNAL"]
+
+CHECKPOINT = "checkpoint.json"
+BUGS = "bugs.jsonl"
+JOURNAL = "journal.jsonl"
+REPORT = "report.json"
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs for one campaign run (all deterministic given ``seed``)."""
+
+    dir: str
+    seed: int = 0
+    #: Total case budget; the campaign stops when ``next_case`` hits it.
+    cases: int = 64
+    #: Cases drawn/executed/checkpointed per round.  Also the
+    #: backpressure bound on the pending queue.
+    round_size: int = 8
+    workers: int = 2
+    #: Hang watchdog: seconds an inflight case may run before the pool
+    #: is killed and all inflight cases are struck and requeued.
+    case_deadline: float = 120.0
+    #: Strikes before a task is recorded as an infrastructure skip.
+    max_strikes: int = 2
+    oracles: tuple[str, ...] = tuple(ORACLES)
+    #: Founding population size (seed queries from the conformance
+    #: grammar).
+    seed_corpus: int = 8
+    corpus_max: int = 256
+    #: Probability that a drawn case evolves its parent (vs re-testing
+    #: the parent unchanged against fresh oracle schedules).
+    evolve_probability: float = 0.75
+    #: Probability a case adds row-dropped dataset variants.
+    dataset_drop_probability: float = 0.5
+    #: Row-drop rate within an evolved dataset variant.
+    dataset_drop: float = 0.35
+
+    def path(self, name: str) -> str:
+        return os.path.join(self.dir, name)
+
+
+@dataclass
+class _RoundOutcome:
+    results: list[CaseResult] = field(default_factory=list)
+    requeued: int = 0
+    struck_out: int = 0
+
+
+class CampaignDriver:
+    """Runs (or resumes) one campaign in ``config.dir``."""
+
+    def __init__(self, config: CampaignConfig, resume: bool = False):
+        self.config = config
+        self.resume = resume
+        self.metrics = Metrics()
+        self._stop_requested = False
+        self._schema = university_schema()
+
+    # -- state ----------------------------------------------------------
+
+    def _fresh_state(self) -> CampaignState:
+        state = CampaignState(seed=self.config.seed)
+        state.corpus.max_size = self.config.corpus_max
+        rng = random.Random(self.config.seed)
+        attempts = 0
+        while (
+            len(state.corpus) < self.config.seed_corpus
+            and attempts < self.config.seed_corpus * 10
+        ):
+            sql = sample_conformance_query(rng, self._schema)
+            state.corpus.admit(sql, origin=len(state.corpus), generation=0)
+            attempts += 1
+        state.capture_rng(rng)
+        return state
+
+    def _load_state(self) -> tuple[CampaignState, BugTracker, bool]:
+        checkpoint_path = self.config.path(CHECKPOINT)
+        if self.resume and os.path.exists(checkpoint_path):
+            state = load_checkpoint(checkpoint_path)
+            if state.seed != self.config.seed:
+                raise ValueError(
+                    f"checkpoint seed {state.seed} does not match "
+                    f"--seed {self.config.seed}; refusing to mix streams"
+                )
+            tracker = BugTracker.load(self.config.path(BUGS))
+            return state, tracker, True
+        state = self._fresh_state()
+        tracker = BugTracker(path=self.config.path(BUGS))
+        return state, tracker, False
+
+    # -- drawing --------------------------------------------------------
+
+    def _draw_round(
+        self, state: CampaignState, rng: random.Random
+    ) -> list[CaseTask]:
+        """Materialise this round's tasks (pure function of state+rng)."""
+        remaining = self.config.cases - state.next_case
+        count = max(0, min(self.config.round_size, remaining))
+        tasks: list[CaseTask] = []
+        for offset in range(count):
+            index = state.next_case + offset
+            parent = state.corpus.pick_parent(rng)
+            parent.trials += 1
+            sql = parent.sql
+            if rng.random() < self.config.evolve_probability:
+                evolved = evolve_query(rng, parent.sql)
+                if evolved is not None:
+                    sql, _applied = evolved
+                    if state.corpus.admit(
+                        sql, parent.origin, parent.generation + 1
+                    ):
+                        state.stats["admitted"] += 1
+            drop = (
+                self.config.dataset_drop
+                if rng.random() < self.config.dataset_drop_probability
+                else 0.0
+            )
+            tasks.append(
+                CaseTask(
+                    index=index,
+                    sql=sql,
+                    oracles=self.config.oracles,
+                    force_join_rewrites=bool(index % 2),
+                    dataset_drop=drop,
+                    drop_seed=rng.randrange(2**31),
+                )
+            )
+        return tasks
+
+    # -- execution ------------------------------------------------------
+
+    def _strike(
+        self,
+        task: CaseTask,
+        strikes: dict[int, int],
+        pending: deque,
+        outcome: _RoundOutcome,
+        results: dict[int, CaseResult],
+        reason: str,
+    ) -> None:
+        strikes[task.index] += 1
+        if strikes[task.index] > self.config.max_strikes:
+            results[task.index] = CaseResult(
+                task.index, task.sql,
+                skipped=f"infrastructure: {reason} "
+                f"(struck out after {strikes[task.index]} attempts)",
+            )
+            outcome.struck_out += 1
+        else:
+            pending.append(task)
+            outcome.requeued += 1
+        self.metrics.inc("xdata_campaign_requeues_total")
+
+    def _run_round(
+        self, pool: SupervisedPool, tasks: list[CaseTask]
+    ) -> _RoundOutcome:
+        """Execute one round with crash recovery and the hang watchdog."""
+        outcome = _RoundOutcome()
+        pending: deque[CaseTask] = deque(tasks)
+        strikes = {task.index: 0 for task in tasks}
+        results: dict[int, CaseResult] = {}
+        inflight: dict[object, tuple[CaseTask, float]] = {}
+        while pending or inflight:
+            # Backpressure: never more futures than workers; pending is
+            # bounded by round_size + requeues ≤ 2 × round_size.
+            while pending and len(inflight) < pool.workers:
+                task = pending.popleft()
+                inflight[pool.submit(run_case, task)] = (
+                    task, time.monotonic(),
+                )
+            done, _ = wait(
+                list(inflight), timeout=0.05, return_when=FIRST_COMPLETED
+            )
+            crashed = False
+            for future in done:
+                task, _started = inflight.pop(future)
+                try:
+                    results[task.index] = future.result()
+                except Exception:
+                    # A worker died (BrokenProcessPool / lost result).
+                    # The whole pool is poisoned; strike every inflight
+                    # task — the crash cannot be attributed to one.
+                    crashed = True
+                    self._strike(
+                        task, strikes, pending, outcome, results,
+                        "worker crash",
+                    )
+            now = time.monotonic()
+            hung = inflight and any(
+                now - started > self.config.case_deadline
+                for _, started in inflight.values()
+            )
+            if crashed or hung:
+                victims = [task for task, _ in inflight.values()]
+                inflight.clear()
+                pool.kill()
+                reason = "worker crash" if crashed else "case deadline"
+                if hung:
+                    self.metrics.inc("xdata_campaign_watchdog_kills_total")
+                for task in victims:
+                    self._strike(
+                        task, strikes, pending, outcome, results, reason
+                    )
+        outcome.results = [results[task.index] for task in tasks]
+        return outcome
+
+    # -- applying -------------------------------------------------------
+
+    def _apply_results(
+        self,
+        state: CampaignState,
+        tracker: BugTracker,
+        journal: JournalWriter,
+        outcome: _RoundOutcome,
+    ) -> int:
+        """Fold results into state in case-index order; returns new bugs."""
+        new_bugs = 0
+        for result in sorted(outcome.results, key=lambda r: r.index):
+            state.stats["cases"] += 1
+            state.stats["executions"] += result.executions
+            state.stats["checks"] += result.checks
+            if result.skipped is not None:
+                state.stats["skipped"] += 1
+            self.metrics.inc("xdata_campaign_cases_total")
+            self.metrics.inc(
+                "xdata_campaign_executions_total", result.executions
+            )
+            self.metrics.observe("xdata_campaign_case_seconds", result.elapsed)
+            bug = result.bug
+            if bug is None:
+                continue
+            if bug.fingerprint in state.seen_bugs:
+                state.stats["rediscoveries"] += 1
+                existing = tracker.bugs.get(bug.fingerprint)
+                if existing is not None:
+                    existing.hits += 1
+                continue
+            state.seen_bugs.add(bug.fingerprint)
+            state.stats["bugs"] += 1
+            new_bugs += 1
+            tracker.record(
+                BugRecord(
+                    fingerprint=bug.fingerprint,
+                    oracle=bug.oracle,
+                    context=bug.context,
+                    sql=bug.sql,
+                    seed_case=result.index,
+                    minimized_dataset=bug.minimized_dataset,
+                    results=bug.results,
+                )
+            )
+            journal.campaign_bug(
+                fingerprint=bug.fingerprint,
+                oracle=bug.oracle,
+                context=bug.context,
+                sql=bug.sql,
+            )
+            self.metrics.inc("xdata_campaign_bugs_total")
+        state.stats["requeued"] += outcome.requeued
+        return new_bugs
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _request_stop(self, signum, frame) -> None:
+        self._stop_requested = True
+
+    def run(self) -> dict:
+        """Run until the case budget is spent, a signal drains us, or
+        ``stop_after_rounds`` (tests) is reached.  Returns the report."""
+        os.makedirs(self.config.dir, exist_ok=True)
+        state, tracker, resumed = self._load_state()
+        journal = JournalWriter(self.config.path(JOURNAL))
+        started = time.monotonic()
+        previous_handlers = {}
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous_handlers[signum] = signal.signal(
+                    signum, self._request_stop
+                )
+            except ValueError:  # non-main thread (tests): skip handlers
+                previous_handlers.pop(signum, None)
+        journal.campaign_start(
+            seed=state.seed,
+            cases=self.config.cases,
+            resumed=resumed,
+            next_case=state.next_case,
+        )
+        interrupted = False
+        try:
+            with SupervisedPool(self.config.workers) as pool:
+                while state.next_case < self.config.cases:
+                    if self._stop_requested:
+                        interrupted = True
+                        break
+                    rng = state.make_rng()
+                    tasks = self._draw_round(state, rng)
+                    state.capture_rng(rng)
+                    outcome = self._run_round(pool, tasks)
+                    new_bugs = self._apply_results(
+                        state, tracker, journal, outcome
+                    )
+                    state.next_case += len(tasks)
+                    state.round += 1
+                    journal.campaign_round(
+                        round=state.round,
+                        cases=len(tasks),
+                        bugs=new_bugs,
+                        executions=sum(
+                            r.executions for r in outcome.results
+                        ),
+                        requeued=outcome.requeued,
+                    )
+                    # Flush bugs BEFORE the checkpoint: a crash between
+                    # the two re-runs the round and re-flushes the same
+                    # deduped store — duplicates remain impossible.
+                    tracker.flush()
+                    save_checkpoint(self.config.path(CHECKPOINT), state)
+                    journal.campaign_checkpoint(
+                        round=state.round, next_case=state.next_case
+                    )
+        finally:
+            for signum, handler in previous_handlers.items():
+                signal.signal(signum, handler)
+        elapsed = time.monotonic() - started
+        completed = state.next_case >= self.config.cases
+        journal.campaign_end(
+            cases=state.stats["cases"],
+            bugs=len(tracker),
+            ok=completed and not interrupted,
+        )
+        journal.close()
+        self.metrics.gauge("xdata_campaign_corpus_size", len(state.corpus))
+        report = {
+            "seed": state.seed,
+            "completed": completed,
+            "interrupted": interrupted,
+            "resumed": resumed,
+            "rounds": state.round,
+            "next_case": state.next_case,
+            "corpus_size": len(state.corpus),
+            "bugs": len(tracker),
+            "stats": state.stats,
+            "elapsed_s": round(elapsed, 3),
+            "cases_per_s": round(state.stats["cases"] / elapsed, 3)
+            if elapsed > 0
+            else None,
+            "metrics": self.metrics.snapshot(),
+        }
+        with open(self.config.path(REPORT), "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return report

@@ -8,7 +8,9 @@ Subcommands:
   matrix and classify survivors;
 * ``export``   — write a suite as per-dataset INSERT scripts;
 * ``workload`` — one combined fixture set for a file of named queries;
-* ``serve``    — run the HTTP generation service (``repro.service``).
+* ``serve``    — run the HTTP generation service (``repro.service``);
+* ``campaign`` — run a crash-safe differential fuzzing campaign
+  (``repro.campaign``).
 
 The schema comes from a DDL file (``--schema``) or the bundled university
 schema (``--university``, optionally with ``--fk`` edge names).
@@ -212,6 +214,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="serve generation over HTTP (POST /v1/jobs; see repro.service)",
         add_help=False,
     )
+    sub.add_parser(
+        "campaign",
+        help="run a crash-safe differential fuzzing campaign (repro.campaign)",
+        add_help=False,
+    )
     return parser
 
 
@@ -314,6 +321,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.service.server import main as serve_main
 
         return serve_main(argv[1:])
+    if argv[:1] == ["campaign"]:
+        from repro.campaign.__main__ import main as campaign_main
+
+        return campaign_main(argv[1:])
     args = _build_parser().parse_args(argv)
     try:
         schema, input_db = _load_schema(args)

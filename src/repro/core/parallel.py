@@ -125,6 +125,69 @@ def shutdown_pool() -> None:
     _discard_pool()
 
 
+class SupervisedPool:
+    """A process pool whose workers can be hard-killed and respawned.
+
+    The campaign driver (``repro.campaign``) needs something the shared
+    batch pool deliberately does not offer: a *watchdog* path that kills
+    a stuck worker outright (``SIGKILL``, not cooperative cancellation)
+    and keeps scheduling on a fresh pool, because a hung case must cost
+    one deadline, never the campaign.  The executor is created lazily on
+    first :meth:`submit` and transparently recreated after :meth:`kill`,
+    so callers treat it as an immortal submit surface.
+
+    Unlike the module-level shared pool, a ``SupervisedPool`` is owned
+    by one scheduler; killing it cannot disturb concurrent
+    ``generate()`` fan-outs.
+    """
+
+    def __init__(self, workers: int):
+        self.workers = max(1, workers)
+        self._executor: ProcessPoolExecutor | None = None
+        #: Pools killed by the watchdog so far (telemetry).
+        self.kills = 0
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def submit(self, fn, *args):
+        """Submit ``fn(*args)``; recreates the pool if it was killed."""
+        return self._ensure().submit(fn, *args)
+
+    def kill(self) -> None:
+        """SIGKILL every worker process and discard the executor.
+
+        In-flight futures fail with :class:`BrokenProcessPool` (or stay
+        cancelled); the caller is expected to requeue the tasks it still
+        cares about.  The next :meth:`submit` starts a fresh pool.
+        """
+        executor = self._executor
+        self._executor = None
+        if executor is None:
+            return
+        self.kills += 1
+        for process in list(getattr(executor, "_processes", {}).values()):
+            try:
+                process.kill()
+            except Exception:
+                pass  # already dead
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Orderly shutdown (waits for running tasks)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "SupervisedPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 def _warn_degraded(detail: str) -> None:
     warnings.warn(
         f"process-pool fan-out degraded to sequential execution: {detail}",

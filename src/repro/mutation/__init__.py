@@ -8,8 +8,18 @@ query is produced by :func:`enumerate_mutants` and covers, per Section II:
   queries, or of the written tree for queries with outer joins;
 * single comparison-operator changes on WHERE-clause conjuncts;
 * single aggregation-operator changes in the select list.
+
+:mod:`repro.mutation.evolve` reuses the same edit vocabulary as a
+seeded *sampler* for the fuzzing campaign's corpus evolution.
 """
 
+from repro.mutation.evolve import evolution_operators, evolve_query
 from repro.mutation.space import Mutant, MutationSpace, enumerate_mutants
 
-__all__ = ["Mutant", "MutationSpace", "enumerate_mutants"]
+__all__ = [
+    "Mutant",
+    "MutationSpace",
+    "enumerate_mutants",
+    "evolution_operators",
+    "evolve_query",
+]

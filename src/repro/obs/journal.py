@@ -20,6 +20,13 @@ Event schema (``schema`` names the journal format version):
 * ``{"event": "run_abort", "ts": ..., "error": "<Type>: <message>"}``
   — closes a run that raised (``fail_fast`` aborts land here).
 
+The differential fuzzing campaign (DESIGN.md §5i) appends its own event
+family into the same format: ``campaign_start`` / ``campaign_round`` /
+``campaign_bug`` / ``campaign_checkpoint`` / ``campaign_end``.  A
+``campaign_start`` implicitly closes any open campaign, because a
+SIGKILLed campaign leaves no ``campaign_end`` and the resumed run
+appends to the same journal.
+
 The journal is append-only: successive runs (a workload's per-query
 ``generate()`` calls) concatenate into one file.  :func:`validate_journal`
 checks both line-level well-formedness and run-level structure, and
@@ -43,7 +50,18 @@ _REQUIRED_KEYS = {
     "span": ("name", "path", "status", "elapsed_s", "attrs"),
     "run_end": ("ts", "elapsed_s", "ok", "health"),
     "run_abort": ("ts", "error"),
+    # -- campaign events (DESIGN.md §5i) -------------------------------
+    "campaign_start": ("v", "ts", "seed", "cases", "resumed"),
+    "campaign_round": ("round", "cases", "bugs", "executions"),
+    "campaign_bug": ("fingerprint", "oracle", "context"),
+    "campaign_checkpoint": ("round", "next_case"),
+    "campaign_end": ("ts", "cases", "bugs", "ok"),
 }
+
+#: Campaign event kinds that must appear inside an open campaign.
+_CAMPAIGN_KINDS = frozenset(
+    k for k in _REQUIRED_KEYS if k.startswith("campaign_")
+)
 
 
 class JournalError(ValueError):
@@ -94,6 +112,42 @@ class JournalWriter:
             error=f"{type(error).__name__}: {error}",
         )
 
+    # -- campaign events (appended by repro.campaign.driver) -----------
+
+    def campaign_start(self, seed: int, cases: int, resumed: bool,
+                       **extra) -> None:
+        self.event(
+            "campaign_start", v=SCHEMA_VERSION, ts=time.time(),
+            seed=seed, cases=cases, resumed=resumed, **extra,
+        )
+
+    def campaign_round(self, round: int, cases: int, bugs: int,
+                       executions: int, **extra) -> None:
+        self.event(
+            "campaign_round", round=round, cases=cases, bugs=bugs,
+            executions=executions, **extra,
+        )
+
+    def campaign_bug(self, fingerprint: str, oracle: str, context: str,
+                     **extra) -> None:
+        self.event(
+            "campaign_bug", fingerprint=fingerprint, oracle=oracle,
+            context=context, **extra,
+        )
+
+    def campaign_checkpoint(self, round: int, next_case: int,
+                            **extra) -> None:
+        self.event(
+            "campaign_checkpoint", round=round, next_case=next_case, **extra
+        )
+
+    def campaign_end(self, cases: int, bugs: int, ok: bool,
+                     **extra) -> None:
+        self.event(
+            "campaign_end", ts=time.time(), cases=cases, bugs=bugs,
+            ok=ok, **extra,
+        )
+
     def close(self) -> None:
         if not self._handle.closed:
             self._handle.close()
@@ -122,6 +176,7 @@ def validate_journal(source, require_complete: bool = True) -> list[dict]:
 
     events: list[dict] = []
     open_run = False
+    open_campaign = False
     for number, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
@@ -140,7 +195,19 @@ def validate_journal(source, require_complete: bool = True) -> list[dict]:
             raise JournalError(
                 f"line {number}: {kind} event missing keys {missing}"
             )
-        if kind == "run_start":
+        if kind in _CAMPAIGN_KINDS:
+            # ``campaign_start`` implicitly closes an open campaign: a
+            # SIGKILL leaves no ``campaign_end``, and the resumed run
+            # appends its own ``campaign_start`` to the same journal.
+            if kind == "campaign_start":
+                open_campaign = True
+            elif not open_campaign:
+                raise JournalError(
+                    f"line {number}: {kind} event outside any campaign"
+                )
+            elif kind == "campaign_end":
+                open_campaign = False
+        elif kind == "run_start":
             if open_run:
                 raise JournalError(
                     f"line {number}: run_start inside an open run"
@@ -167,6 +234,10 @@ def validate_journal(source, require_complete: bool = True) -> list[dict]:
         raise JournalError("journal contains no events")
     if require_complete and open_run:
         raise JournalError("journal ends inside an open run (no run_end)")
+    if require_complete and open_campaign:
+        raise JournalError(
+            "journal ends inside an open campaign (no campaign_end)"
+        )
     return events
 
 

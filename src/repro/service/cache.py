@@ -184,13 +184,28 @@ class SuiteCache:
         The append-only format grows with every store; compaction after
         a long run (or on graceful shutdown) reclaims superseded lines.
         No-op for purely in-memory caches.
+
+        Crash-safe: the replacement is staged in a pid-unique temp file,
+        fsynced, and atomically renamed over the original, so a process
+        killed at any instant leaves either the old complete file or the
+        new complete file — never a truncated one.  A failed staging
+        write cleans up its temp file and leaves the original untouched.
         """
         if self.path is None:
             return
         with self._lock:
-            tmp = f"{self.path}.tmp"
-            with open(tmp, "w", encoding="utf-8") as fh:
-                for key, value in self._entries.items():
-                    record = {"key": key, "payload": value.decode("utf-8")}
-                    fh.write(json.dumps(record, sort_keys=True) + "\n")
-            os.replace(tmp, self.path)
+            tmp = f"{self.path}.tmp.{os.getpid()}"
+            try:
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    for key, value in self._entries.items():
+                        record = {
+                            "key": key, "payload": value.decode("utf-8"),
+                        }
+                        fh.write(json.dumps(record, sort_keys=True) + "\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, self.path)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise

@@ -318,6 +318,39 @@ class JobQueue:
         if self._journal is not None:
             self._journal.close()
 
+    def shutdown(self, drain_s: float = 5.0) -> dict:
+        """Graceful close: refuse new work, drain RUNNING jobs, stop.
+
+        New submissions are refused immediately; still-PENDING jobs are
+        cancelled (their clients see ``cancelled``, an honest answer,
+        rather than a connection reset); RUNNING jobs get up to
+        ``drain_s`` seconds to finish.  Returns drain accounting:
+        ``{"cancelled": n, "abandoned": m}`` where ``abandoned`` counts
+        jobs still running when the deadline expired.
+        """
+        self._closed = True
+        with self._lock:
+            pending_ids = [
+                job.id
+                for job in self._jobs.values()
+                if job.state is JobState.PENDING
+            ]
+        cancelled = sum(1 for job_id in pending_ids if self.cancel(job_id))
+        deadline = time.monotonic() + max(0.0, drain_s)
+        abandoned = 0
+        while True:
+            with self._lock:
+                abandoned = sum(
+                    1
+                    for job in self._jobs.values()
+                    if job.state is JobState.RUNNING
+                )
+            if abandoned == 0 or time.monotonic() >= deadline:
+                break
+            time.sleep(0.01)
+        self.close()
+        return {"cancelled": cancelled, "abandoned": abandoned}
+
     def snapshot(self) -> dict:
         """Metrics snapshot for ``/metrics`` (queue depth refreshed)."""
         self._update_depth()

@@ -226,14 +226,27 @@ class Service:
         """Serve on the calling thread (the CLI path)."""
         self._server.serve_forever()
 
-    def stop(self) -> None:
-        """Shut down the HTTP listener and the job queue."""
+    def stop(self, drain_s: float = 0.0) -> dict | None:
+        """Shut down: listener first, then the queue, then flush cache.
+
+        With ``drain_s > 0`` the stop is *graceful*: after the listener
+        closes (no new submissions can arrive), still-pending jobs are
+        cancelled and RUNNING jobs get up to ``drain_s`` seconds to
+        finish before the workers stop; the drain accounting dict is
+        returned.  Either way the suite cache is compacted to its
+        persistence file as the final step.
+        """
         self._server.shutdown()
         self._server.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
-        self.queue.close()
+        if drain_s > 0:
+            drained = self.queue.shutdown(drain_s)
+        else:
+            self.queue.close()
+            drained = None
         self.queue.cache.compact()
+        return drained
 
     def __enter__(self) -> "Service":
         return self.start()
@@ -271,6 +284,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--verbose", action="store_true",
                         help="log every HTTP request")
+    parser.add_argument(
+        "--drain-s", type=float, default=5.0,
+        help="graceful-shutdown budget: seconds to let RUNNING jobs "
+        "finish after SIGINT/SIGTERM (default 5)",
+    )
     args = parser.parse_args(argv)
 
     service = Service(
@@ -278,13 +296,28 @@ def main(argv: list[str] | None = None) -> int:
         cache_path=args.cache_path, cache_bytes=args.cache_bytes,
         journal_path=args.journal, verbose=args.verbose,
     )
+
+    # SIGTERM gets the same graceful drain SIGINT (KeyboardInterrupt)
+    # already had: raise out of serve_forever, drain in the finally.
+    def _on_sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    import signal
+
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
     print(f"xdata service listening on {service.url}")
     try:
         service.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
-        service.stop()
+        signal.signal(signal.SIGTERM, previous)
+        drained = service.stop(drain_s=args.drain_s)
+        if drained is not None:
+            print(
+                f"xdata service stopped: {drained['cancelled']} pending "
+                f"job(s) cancelled, {drained['abandoned']} abandoned"
+            )
     return 0
 
 

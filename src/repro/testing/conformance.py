@@ -345,6 +345,49 @@ def _still_disagrees(plan, primary, reference):
     return predicate
 
 
+def cross_check_space(
+    space,
+    databases,
+    primary,
+    reference,
+    label: str,
+    cache: SubplanCache | None = None,
+) -> int:
+    """Dual-execute the original plan and every mutant over every dataset.
+
+    The shared execution core of the conformance harness and the
+    campaign's cross-check oracle: one :class:`CrossChecker` pass per
+    dataset in cache-friendly mutant order, releasing backend handles
+    (and the subplan cache's per-dataset entries) before moving on.
+    Returns the number of cross-checked executions; raises
+    :class:`BackendDisagreement` on the first split, *without*
+    minimizing (the caller owns minimization — it may need to detach
+    caches first).
+    """
+    plan = space.original_plan
+    order = mutant_order(space.mutants)
+    executions = 0
+    checker = CrossChecker(primary, reference)
+    try:
+        for db in databases:
+            checker.signature(plan, db, f"{label}: original query")
+            executions += 1
+            for i in order:
+                mutant = space.mutants[i]
+                checker.signature(
+                    mutant.plan,
+                    db,
+                    f"{label}: mutant [{mutant.kind}] {mutant.description}",
+                )
+                executions += 1
+            checker.release(db)
+            if cache is not None:
+                cache.drop_dataset(db)
+    finally:
+        checker.close()
+    return executions
+
+
 def run_conformance_case(
     seed: int,
     schema: Schema | None = None,
@@ -389,23 +432,10 @@ def run_conformance_case(
     cache = SubplanCache()
     primary = EngineBackend(subplan_cache=cache)
     reference = SqliteBackend(force_join_rewrites=force_join_rewrites)
-    plan = space.original_plan
-    order = mutant_order(space.mutants)
-    checker = CrossChecker(primary, reference)
     try:
-        for db in databases:
-            checker.signature(plan, db, f"seed {seed}: original query")
-            case.executions += 1
-            for i in order:
-                mutant = space.mutants[i]
-                checker.signature(
-                    mutant.plan,
-                    db,
-                    f"seed {seed}: mutant [{mutant.kind}] {mutant.description}",
-                )
-                case.executions += 1
-            checker.release(db)
-            cache.drop_dataset(db)
+        case.executions = cross_check_space(
+            space, databases, primary, reference, f"seed {seed}", cache
+        )
     except BackendDisagreement as exc:
         if exc.plan is not None:
             # Detach the cache first: minimization churns through many
@@ -414,8 +444,6 @@ def run_conformance_case(
             primary.subplan_cache = None
             exc.minimized = minimize_disagreement(exc, primary, reference)
         raise
-    finally:
-        checker.close()
     case.mutants = len(space.mutants)
     case.datasets = len(databases)
     return case

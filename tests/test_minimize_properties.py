@@ -1,0 +1,187 @@
+"""Property-based tests for dataset minimization (Hypothesis).
+
+:func:`repro.testing.minimize.minimize_dataset` underpins every bug
+report the conformance harness and the fuzzing campaign emit — a buggy
+shrinker corrupts evidence.  Two properties must hold for arbitrary
+instances and (well-behaved) predicates:
+
+* **idempotence** — minimizing an already-minimized dataset changes
+  nothing: the result is a row-wise local minimum by definition;
+* **predicate preservation** — whenever the predicate holds on the
+  input, it still holds on the minimized dataset (a repro that stops
+  reproducing after shrinking is worse than no shrinking at all).
+
+Predicates are drawn as monotone-ish structural conditions (row-count
+thresholds, value membership, cross-table conjunctions) plus an
+adversarial raising wrapper, since ``minimize_dataset`` must treat a
+raising predicate as False rather than propagate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.engine.database import Database
+from repro.schema.ddl import parse_ddl
+from repro.testing.minimize import minimize_dataset
+
+_DDL = """
+CREATE TABLE dept (dname VARCHAR(10) PRIMARY KEY, budget INT);
+CREATE TABLE emp (
+    eid INT PRIMARY KEY,
+    dname VARCHAR(10),
+    salary INT
+);
+"""
+
+
+def _schema():
+    return parse_ddl(_DDL)
+
+
+_DEPTS = ("cs", "ee", "math")
+
+
+@st.composite
+def databases(draw):
+    """Small two-table instances (no FK enforcement in the predicates,
+    so any row combination is fair game)."""
+    db = Database(_schema())
+    dept_rows = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(_DEPTS),
+                st.one_of(st.none(), st.integers(0, 100)),
+            ),
+            max_size=4,
+            unique_by=lambda r: r[0],
+        )
+    )
+    for row in dept_rows:
+        db.insert("dept", row)
+    emp_rows = draw(
+        st.lists(
+            st.tuples(
+                st.integers(1, 50),
+                st.one_of(st.none(), st.sampled_from(_DEPTS)),
+                st.one_of(st.none(), st.integers(0, 10)),
+            ),
+            max_size=6,
+            unique_by=lambda r: r[0],
+        )
+    )
+    for row in emp_rows:
+        db.insert("emp", row)
+    return db
+
+
+@st.composite
+def predicates(draw):
+    """A predicate over instances, with a human-readable label."""
+    kind = draw(
+        st.sampled_from(
+            ["emp-count", "dept-count", "has-null-salary", "total", "both"]
+        )
+    )
+    threshold = draw(st.integers(0, 3))
+    if kind == "emp-count":
+        return (
+            f"len(emp) >= {threshold}",
+            lambda db: len(db.relation("emp").rows) >= threshold,
+        )
+    if kind == "dept-count":
+        return (
+            f"len(dept) >= {threshold}",
+            lambda db: len(db.relation("dept").rows) >= threshold,
+        )
+    if kind == "has-null-salary":
+        return (
+            "some emp.salary IS NULL",
+            lambda db: any(
+                row[2] is None for row in db.relation("emp").rows
+            ),
+        )
+    if kind == "total":
+        return (
+            f"total_rows >= {threshold}",
+            lambda db: db.total_rows() >= threshold,
+        )
+    return (
+        f"emp >= {threshold} and dept nonempty",
+        lambda db: len(db.relation("emp").rows) >= threshold
+        and len(db.relation("dept").rows) >= 1,
+    )
+
+
+_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _rows(db: Database) -> dict:
+    return {
+        name: sorted(db.relation(name).rows, key=repr)
+        for name in db.table_names
+    }
+
+
+@_SETTINGS
+@given(db=databases(), labelled=predicates())
+def test_minimize_is_idempotent(db, labelled):
+    """minimize(minimize(db)) == minimize(db), row for row."""
+    _label, predicate = labelled
+    if not predicate(db):
+        return  # nothing to shrink against
+    once = minimize_dataset(db, predicate)
+    twice = minimize_dataset(once, predicate)
+    assert _rows(twice) == _rows(once)
+
+
+@_SETTINGS
+@given(db=databases(), labelled=predicates())
+def test_minimize_preserves_predicate(db, labelled):
+    """The disagreement (predicate) still reproduces after shrinking."""
+    _label, predicate = labelled
+    if not predicate(db):
+        return
+    minimized = minimize_dataset(db, predicate)
+    assert predicate(minimized), (
+        "minimization lost the repro: predicate no longer holds"
+    )
+    # And shrinking never grows the instance.
+    assert minimized.total_rows() <= db.total_rows()
+
+
+@_SETTINGS
+@given(db=databases(), labelled=predicates())
+def test_minimize_treats_raising_predicate_as_false(db, labelled):
+    """A predicate that raises on some candidates still yields a valid,
+    predicate-preserving minimum (raises are 'reduction not taken')."""
+    _label, predicate = labelled
+    if not predicate(db):
+        return
+
+    def spiky(candidate: Database) -> bool:
+        # Raise instead of returning False: the shrinker must treat
+        # both the same way.
+        if not predicate(candidate):
+            raise RuntimeError("injected predicate failure")
+        return True
+
+    minimized = minimize_dataset(db, spiky)
+    assert predicate(minimized)
+
+
+@_SETTINGS
+@given(db=databases())
+def test_minimize_never_mutates_input(db):
+    """The input instance is copied, not shrunk in place."""
+    before = _rows(db)
+    minimize_dataset(db, lambda candidate: True)
+    assert _rows(db) == before
