@@ -1,22 +1,31 @@
-"""Parallel + hot-path pipeline benchmark: sequential baseline vs workers=4.
+"""Parallel + hot-path pipeline benchmark: sequential vs workers=4 vs delta.
 
 Measures wall-clock for generating complete mutant-killing test suites
 over the multi-query workload (every Table I/II university query, each
-at every Table I foreign-key variant, at full mutation coverage), twice:
+at every Table I foreign-key variant, at full mutation coverage), three
+ways:
 
 * **sequential** — the seed-equivalent pipeline: one query at a time,
   ``workers=1``, with every hot-path cache disabled
   (``hot_path_caching=False``, ``SearchConfig(hot_path=False)``), i.e.
   the rebuild-everything-per-spec behaviour this PR started from;
-* **workers=4** — the optimised pipeline: hot-path caching on, the
+* **workers=4** — the optimised pipeline with delta solving pinned
+  *off* (``SearchConfig(delta_solve=False)``): hot-path caching on, the
   whole workload dispatched as one batch through the shared process
   pool with ``workers=4``.  The pool is sized to the machine
   (``min(workers, cpu_count)``); when only one CPU is available the
   batch legitimately runs in-process, so the recorded speedup on such
   hosts comes from the hot-path work alone and is a *lower bound* for
   multi-core hardware.
+* **delta** — the same optimised pipeline with delta solving on (the
+  default): each query's shared PK/FK/domain constraint system is
+  compiled once into a skeleton (DESIGN.md §5j), sibling kill groups
+  solve as incremental deltas against it, and the process-level
+  skeleton/declaration stores carry the compiled state across repeat
+  rounds of the same request — the repeat-request shape a generation
+  service sees.
 
-Both arms must produce byte-identical datasets; the benchmark fails
+All arms must produce byte-identical datasets; the benchmark fails
 loudly if they do not.  Results are written to ``BENCH_parallel.json``
 at the repository root.
 
@@ -64,6 +73,16 @@ def sequential_config() -> GenConfig:
 
 
 def parallel_config() -> GenConfig:
+    # delta_solve pinned off so the delta arm's speedup is attributable
+    # to the skeleton pipeline alone, not to the rest of the hot path.
+    return GenConfig(
+        include_join_condition_datasets=True,
+        workers=WORKERS,
+        solver=SearchConfig(delta_solve=False),
+    )
+
+
+def delta_config() -> GenConfig:
     return GenConfig(include_join_condition_datasets=True, workers=WORKERS)
 
 
@@ -97,33 +116,54 @@ def stage_totals(suites) -> dict[str, float]:
     return {stage: round(spent, 4) for stage, spent in sorted(totals.items())}
 
 
+def skeleton_totals(suites) -> dict[str, int]:
+    totals: dict[str, int] = {}
+    for suite in suites:
+        for key, value in suite.health.skeleton_cache.items():
+            if key == "hit_rate":
+                continue
+            totals[key] = totals.get(key, 0) + value
+    return totals
+
+
 def main() -> None:
     jobs, schema_count = build_jobs()
     seq_cfg = sequential_config()
     par_cfg = parallel_config()
+    delta_cfg = delta_config()
 
-    # Warm-up round per arm: imports, schema templates, the process pool.
+    # Warm-up round per arm: imports, schema templates, the process
+    # pool, and (for the delta arm) the process-level skeleton and
+    # declaration stores.
     _, par_suites = run_parallel(jobs, par_cfg)
+    _, delta_suites = run_parallel(jobs, delta_cfg)
     _, seq_suites = run_sequential(jobs, seq_cfg)
 
     par_scripts = scripts_of(par_suites)
+    delta_scripts = scripts_of(delta_suites)
     seq_scripts = scripts_of(seq_suites)
-    identical = par_scripts == seq_scripts
+    identical = par_scripts == seq_scripts == delta_scripts
     digest = hashlib.sha256(
         "\n".join(seq_scripts).encode()
     ).hexdigest()[:16]
 
-    seq_times, par_times = [], []
-    seq_stages = par_stages = None
+    seq_times, par_times, delta_times = [], [], []
+    seq_stages = par_stages = delta_stages = None
+    delta_skeleton = None
     for _ in range(ROUNDS):
         elapsed, suites = run_parallel(jobs, par_cfg)
         par_times.append(elapsed)
         par_stages = stage_totals(suites)
+        elapsed, suites = run_parallel(jobs, delta_cfg)
+        delta_times.append(elapsed)
+        delta_stages = stage_totals(suites)
+        delta_skeleton = skeleton_totals(suites)
         elapsed, suites = run_sequential(jobs, seq_cfg)
         seq_times.append(elapsed)
         seq_stages = stage_totals(suites)
 
     seq_best, par_best = min(seq_times), min(par_times)
+    delta_best = min(delta_times)
     result = {
         "benchmark": "parallel test-suite generation + solver hot-path",
         "workload": {
@@ -153,21 +193,38 @@ def main() -> None:
                 "stage_totals_s": seq_stages,
             },
             "workers=4": {
-                "description": "optimised pipeline: hot-path caching on, batched through the shared pool",
+                "description": "optimised pipeline: hot-path caching on, batched through the shared pool, delta solving pinned off",
                 "config": {
                     "workers": WORKERS,
                     "effective_workers": effective_workers(WORKERS, len(jobs)),
                     "hot_path_caching": True,
                     "solver_hot_path": True,
+                    "delta_solve": False,
                 },
                 "times_s": [round(t, 4) for t in par_times],
                 "best_s": round(par_best, 4),
                 "stage_totals_s": par_stages,
             },
+            "delta": {
+                "description": "optimised pipeline + compile-once/delta-solve skeletons with warm process-level stores",
+                "config": {
+                    "workers": WORKERS,
+                    "effective_workers": effective_workers(WORKERS, len(jobs)),
+                    "hot_path_caching": True,
+                    "solver_hot_path": True,
+                    "delta_solve": True,
+                },
+                "times_s": [round(t, 4) for t in delta_times],
+                "best_s": round(delta_best, 4),
+                "stage_totals_s": delta_stages,
+                "skeleton_cache": delta_skeleton,
+                "speedup_vs_optimised": round(par_best / delta_best, 3),
+            },
         },
         "byte_identical_datasets": identical,
         "datasets_sha256": digest,
         "speedup": round(seq_best / par_best, 3),
+        "speedup_delta": round(seq_best / delta_best, 3),
     }
 
     out = os.path.abspath(OUT_PATH)
@@ -179,7 +236,9 @@ def main() -> None:
     if not identical:
         raise SystemExit("FAIL: dataset mismatch between arms")
     print(f"\nwrote {out}: speedup {result['speedup']}x "
-          f"({seq_best:.3f}s sequential vs {par_best:.3f}s workers={WORKERS})")
+          f"({seq_best:.3f}s sequential vs {par_best:.3f}s workers={WORKERS}), "
+          f"delta {result['arms']['delta']['speedup_vs_optimised']}x vs "
+          f"optimised ({delta_best:.3f}s)")
 
 
 if __name__ == "__main__":

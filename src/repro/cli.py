@@ -95,6 +95,14 @@ def _build_parser() -> argparse.ArgumentParser:
             help="disable quantifier unfolding (the paper's slow mode)",
         )
         cmd.add_argument(
+            "--no-delta-solve",
+            action="store_true",
+            help="ablation: compile every kill group's constraint system "
+            "from scratch instead of delta-solving against the compiled "
+            "query skeleton (the datasets are byte-identical; see "
+            "benchmarks/bench_parallel.py)",
+        )
+        cmd.add_argument(
             "--workers",
             type=int,
             default=1,
@@ -331,6 +339,7 @@ def main(argv: list[str] | None = None) -> int:
         sql = _read_query(args)
         config = GenConfig(
             unfold=not args.no_unfold,
+            delta_solve=False if args.no_delta_solve else None,
             input_db=input_db,
             trace_constraints=getattr(args, "show_constraints", False),
             workers=max(1, args.workers),

@@ -17,7 +17,13 @@ which do not pickle.  The protocol here sidesteps that:
 Workers memoize the derived state per process (keyed by a per-dispatch
 token), so re-derivation costs one analysis per process, not one per
 spec; the per-process database-constraint cache likewise warms up across
-the specs a worker handles.
+the specs a worker handles.  The same holds for the compiled query
+skeletons of the delta-solve pipeline (DESIGN.md §5j): skeletons hold
+formula graphs with cyclic memo fields and are deliberately *never*
+pickled — each worker compiles (or pulls from its own process-level
+``_SKELETON_STORE``/``_DECL_STORE``) the skeletons for the specs it is
+assigned, and the stores warm up per worker exactly like the
+database-constraint cache.
 
 :func:`generate_suites_parallel` applies the same idea one level up for
 multi-query workloads: one task per query, each worker running the full

@@ -49,6 +49,24 @@ class DatasetSpec:
         default_factory=list
     )
 
+    def skeleton_signature(
+        self, space: ProblemSpace, use_fk_support_slots: bool = True
+    ) -> tuple:
+        """Cache key of the compiled query skeleton this spec solves under.
+
+        Two specs share a skeleton (DESIGN.md §5j) exactly when their
+        shared constraint systems coincide: the copy count and support
+        columns determine the declared slot set *and its declaration
+        order*, and the forced-null triples select which foreign-key
+        constraints the shared system contains.  ``space`` must be the
+        finalized problem space of the attempt (its ``forced_nulls``
+        are only complete after the build closures and null tests ran).
+        """
+        support = (
+            tuple(self.support_columns) if use_fk_support_slots else ()
+        )
+        return (space.copies, support, frozenset(space.forced_nulls))
+
 
 @dataclass
 class SkippedTarget:

@@ -11,6 +11,7 @@ allocates three slots per occurrence (Algorithm 4).
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 
 from repro.core.analyze import AnalyzedQuery
@@ -23,8 +24,16 @@ from repro.sql.ast import BinaryOp, ColumnRef, Comparison, Expr, Literal
 
 
 def slot_var_name(table: str, index: int, column: str) -> str:
-    """Canonical solver-variable name for one attribute of one slot."""
-    return f"{table}[{index}].{column}"
+    """Canonical solver-variable name for one attribute of one slot.
+
+    Interned: the same name is built anew in every solve, spec and run,
+    then used as a dict key in the solver's hottest loops (union-find,
+    assignments, watch lists).  Interning makes equal names *identical*
+    objects process-wide, so those lookups compare by pointer — which
+    also lets compiled skeletons (§5j) be reused across runs without
+    cross-run string comparisons.
+    """
+    return sys.intern(f"{table}[{index}].{column}")
 
 
 def _rotate(values: tuple, index: int) -> tuple:

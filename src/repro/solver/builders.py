@@ -80,6 +80,22 @@ def conj(parts) -> Formula:
     return Conj(tuple(flat))
 
 
+def conjuncts(formula: Formula) -> list[Formula]:
+    """Flatten a formula into its top-level conjuncts.
+
+    The inverse view of :func:`conj` (which already flattens nested
+    ``Conj`` nodes on construction, so one level of unwrapping
+    suffices); ``TRUE`` flattens to no conjuncts.  The skeleton and
+    property tests use this to compare constraint systems modulo
+    conjunction grouping.
+    """
+    if isinstance(formula, Conj):
+        return list(formula.parts)
+    if isinstance(formula, BoolConst) and formula.value:
+        return []
+    return [formula]
+
+
 def disj(parts) -> Formula:
     """Disjunction, simplifying constants and flattening."""
     flat: list[Formula] = []

@@ -59,6 +59,13 @@ class SearchConfig:
     #: implementation's re-evaluation behaviour (benchmarks only; results
     #: are identical either way).
     hot_path: bool = True
+    #: Delta-solve ablation switch (DESIGN.md §5j): solve each kill
+    #: group's constraints as an incremental delta over the compiled
+    #: query skeleton (shared PK/FK/domain system preprocessed once per
+    #: query shape) instead of compiling the full system from scratch.
+    #: Results are byte-identical either way; off forces the
+    #: full-compile path (``--no-delta-solve`` on the CLI).
+    delta_solve: bool = True
     #: Deprecated spelling of :attr:`solve_deadline_s` (the pre-§5e
     #: name).  Accepted as a constructor keyword only; warns.
     deadline_s: InitVar[float | None] = None
@@ -195,11 +202,18 @@ class GroundSearch:
         infos: dict[str, VarInfo],
         symbols: SymbolTable,
         config: SearchConfig | None = None,
+        base=None,
     ):
+        """``base`` (a :class:`~repro.solver.skeleton.CompiledSkeleton`)
+        switches on delta solving: ``formulas`` is then only the solve's
+        *delta* — the skeleton's preprocessed shared system is seeded
+        underneath it instead of being re-flattened, re-propagated and
+        re-rewritten from scratch (DESIGN.md §5j)."""
         self._input = formulas
         self._infos = infos
         self._symbols = symbols
         self._config = config or SearchConfig()
+        self._base = base
         self._uf = _UnionFind()
         self._fixed: dict[str, int] = {}
         self._constraints: list[Formula] = []
@@ -207,6 +221,11 @@ class GroundSearch:
         self._members: dict[str, list[VarInfo]] | None = None
         self._touched: set[str] | None = None
         self._deadline: float | None = None
+        #: Roots that took part in a union during *this* solve's unit
+        #: propagation (tracked only under a base skeleton) — exactly
+        #: the equivalence-class partitions whose precompiled state must
+        #: be re-derived copy-on-write.
+        self._dirty: set[str] | None = set() if base is not None else None
         # Domain-aggregate memo traffic (reported via SearchOutcome).
         self._cache_hits = 0
         self._cache_misses = 0
@@ -274,6 +293,11 @@ class GroundSearch:
                         )
                     ra, rb = self._uf.find(a), self._uf.find(b)
                     if ra != rb:
+                        if self._dirty is not None:
+                            # Delta solve: both roots' precompiled
+                            # partitions are now stale (COW re-merge).
+                            self._dirty.add(ra)
+                            self._dirty.add(rb)
                         fixed_a = self._fixed.pop(ra, None)
                         fixed_b = self._fixed.pop(rb, None)
                         rep = self._uf.union(a, b)
@@ -363,6 +387,28 @@ class GroundSearch:
             )
         raise SolverError(f"cannot rewrite formula {formula!r}")
 
+    def _delta_state_key(self, formula: Formula) -> tuple:
+        """Fingerprint of the delta state restricted to ``formula``.
+
+        Two delta solves whose union-find/fixed state agree on a shared
+        formula's variables produce structurally identical rewrites, so
+        the skeleton's rewrite cache can hand back the earlier solve's
+        object — keeping its per-node memos warm — instead of
+        rebuilding the tree.
+        """
+        variables = formula.__dict__.get("_fvsorted")
+        if variables is None:
+            variables = sorted(formula_variables(formula))
+            object.__setattr__(formula, "_fvsorted", variables)
+        parent = self._uf._parent
+        find = self._uf.find
+        fixed = self._fixed
+        key = []
+        for name in variables:
+            rep = find(name) if name in parent else name
+            key.append((rep, fixed.get(rep)))
+        return tuple(key)
+
     # -- domain construction ---------------------------------------------------
 
     def _universe_key(self, rep: str) -> tuple[str, str | None]:
@@ -416,54 +462,86 @@ class GroundSearch:
             return ("off", abs(atom.lin.const))
         return ("none", None)
 
+    def _domagg_of(self, formula: Formula, memo: bool):
+        """Domain-aggregate of one formula: ``(ints, offsets, strs)``.
+
+        A formula's domain contribution is a pure function of its
+        atoms' structure and their variables' kinds, both stable
+        across the sibling solves that share the formula object —
+        aggregated once per node and memoized like _fv/_atoms.
+        """
+        agg = formula.__dict__.get("_domagg") if memo else None
+        if agg is not None:
+            self._cache_hits += 1
+            return agg
+        self._cache_misses += 1
+        ints: set[int] = set()
+        offs: set[int] = set()
+        strs: list[tuple[str, int]] = []
+        for atom in _formula_atoms(formula, cache=memo):
+            hint = atom.__dict__.get("_domhint") if memo else None
+            if hint is None:
+                hint = self._domain_hint(atom)
+                if memo:
+                    object.__setattr__(atom, "_domhint", hint)
+            tag, data = hint
+            if tag == "str":
+                strs.append(data)
+            elif tag == "int":
+                ints.update(data)
+            elif tag == "off":
+                offs.add(data)
+        agg = (ints, offs, strs)
+        if memo:
+            object.__setattr__(formula, "_domagg", agg)
+        return agg
+
     def _build_domains(
         self,
         reps: list[str],
         constraints: list[Formula],
         free_reps: set[str] | None = None,
+        base_agg=None,
+        skip: int = 0,
+        pref=None,
+        pref_skip=None,
+        dom_cache=None,
     ) -> dict[str, list[int]]:
+        """Ordered candidate values per representative.
+
+        ``base_agg``/``skip`` (delta solving, §5j) seed the candidate
+        collection from the skeleton's precompiled aggregate over its
+        first ``skip`` constraints — exact, because on that path the
+        ``constraints`` prefix *is* ``base.rest`` verbatim.  ``pref`` is
+        the skeleton's per-class preferred-value union, valid for every
+        class the delta left unmerged (``pref_skip`` holds the merged
+        ones, which fall back to a member scan).
+        """
         config = self._config
         # Collect integer constants relevant to each universe.
         int_candidates: set[int] = {0, 1, 2}
         offsets: set[int] = set()
-        # String pools: order atoms against interned constants need
-        # lexicographic boundary witnesses (a value just below / above).
-        str_witness_pools: set[str] = set()
         memo = config.hot_path
-        for formula in constraints + list(self._residual_units):
-            # A formula's domain contribution is a pure function of its
-            # atoms' structure and their variables' kinds, both stable
-            # across the sibling solves that share the formula object —
-            # aggregated once per node and memoized like _fv/_atoms.
-            agg = formula.__dict__.get("_domagg") if memo else None
-            if agg is not None:
-                self._cache_hits += 1
-            else:
-                self._cache_misses += 1
-                ints: set[int] = set()
-                offs: set[int] = set()
-                strs: list[tuple[str, int]] = []
-                for atom in _formula_atoms(formula, cache=memo):
-                    hint = atom.__dict__.get("_domhint") if memo else None
-                    if hint is None:
-                        hint = self._domain_hint(atom)
-                        if memo:
-                            object.__setattr__(atom, "_domhint", hint)
-                    tag, data = hint
-                    if tag == "str":
-                        strs.append(data)
-                    elif tag == "int":
-                        ints.update(data)
-                    elif tag == "off":
-                        offs.add(data)
-                agg = (ints, offs, strs)
-                if memo:
-                    object.__setattr__(formula, "_domagg", agg)
+        if base_agg is not None:
+            int_candidates.update(base_agg[0])
+            offsets.update(base_agg[1])
+            # String pools: order atoms against interned constants need
+            # lexicographic boundary witnesses, re-interned per solve in
+            # the same formula order as a full scan.
+            for pool, code in base_agg[2]:
+                self._add_string_witnesses(pool, code)
+        for formula in constraints[skip:] + list(self._residual_units):
+            agg = self._domagg_of(formula, memo)
             int_candidates.update(agg[0])
             offsets.update(agg[1])
             for pool, code in agg[2]:
                 self._add_string_witnesses(pool, code)
         for rep in reps:
+            if pref is not None and rep not in pref_skip:
+                values = pref.get(rep)
+                if values is not None:
+                    int_candidates.update(values)
+                    continue
             if self._kind(rep) == "int":
                 for info in self._member_infos(rep):
                     int_candidates.update(info.preferred)
@@ -489,6 +567,9 @@ class GroundSearch:
         universe_cache: dict[str | None, tuple[list[int], set[int]]] = {
             None: (int_domain, int_domain_set)
         }
+        #: universe key -> frozenset fingerprint of its candidates (the
+        #: dom_cache key component; frozensets cache their hash).
+        cand_fp: dict[str | None, frozenset] = {}
         for rep in reps:
             kind, pool = self._universe_key(rep)
             key = None if kind == "int" else pool
@@ -509,6 +590,27 @@ class GroundSearch:
                 cached = (candidates, set(candidates))
                 universe_cache[key] = cached
             candidates, candidate_set = cached
+            dkey = None
+            if dom_cache is not None and (
+                pref_skip is None or rep not in pref_skip
+            ):
+                # Unmerged base class: its domain is a pure function of
+                # the rep (kind, pool, member order) and the candidate
+                # content; candidate order is deterministic from the
+                # set, so set-equality implies list-equality.
+                fp = cand_fp.get(key)
+                if fp is None:
+                    fp = cand_fp[key] = frozenset(candidates)
+                dkey = (
+                    rep,
+                    free_reps is not None and rep in free_reps,
+                    fp,
+                    max_size,
+                )
+                got = dom_cache.get(dkey)
+                if got is not None:
+                    domains[rep] = got
+                    continue
             if free_reps is not None and rep in free_reps:
                 # Unconstrained: the search only ever takes the first
                 # ordered value, so the rest of the domain is not built.
@@ -524,6 +626,8 @@ class GroundSearch:
                     domains[rep] = [first]
                 else:
                     domains[rep] = [candidates[0]] if candidates else []
+                if dkey is not None:
+                    dom_cache[dkey] = domains[rep]
                 continue
             preferred: list[int] = []
             seen: set[int] = set()
@@ -545,6 +649,8 @@ class GroundSearch:
                 if len(ordered) > max_size:
                     ordered = ordered[:max_size]
             domains[rep] = ordered
+            if dkey is not None:
+                dom_cache[dkey] = ordered
         return domains
 
     def _member_infos(self, rep: str):
@@ -584,27 +690,168 @@ class GroundSearch:
         # Hot-path ablation: with the flag off, variable sets are
         # recomputed per query as the seed implementation did.
         memo = self._config.hot_path
+        base = self._base
 
+        if base is not None and base.unsat:
+            # The shared system alone is UNSAT; no delta can rescue it.
+            return preprocess_only()
         rest = self._flatten()
+        if base is not None:
+            # Delta solve (§5j): seed the compiled shared state.  The
+            # shared system is a flatten-order prefix of the full
+            # problem (it is asserted last, and _flatten pops from the
+            # end), so prepending its residual units here and its rest
+            # constraints below reproduces a from-scratch compile's
+            # ordering exactly; union-find confluence makes the merge
+            # outcome order-independent.
+            self._uf._parent = dict(base.parent)
+            self._fixed = dict(base.fixed)
+            self._units = list(base.residual) + self._units
         self._propagate_units()
         if self._unsat:
             return preprocess_only()
         if memo:
-            self._touched = self._touched_vars()
+            if base is not None:
+                # The base scan is precompiled; extend it with this
+                # delta's merges and fixes instead of re-deriving.
+                touched = set(base.touched)
+                touched.update(self._fixed)
+                touched.update(self._dirty)
+                self._touched = touched
+            else:
+                self._touched = self._touched_vars()
+        if base is not None and memo:
+            # Copy-on-write members index: only the partitions touched
+            # by this delta's unions are re-merged (in declaration
+            # order, matching a from-scratch scan); every other class
+            # reuses the skeleton's precompiled tuple.
+            members = base.members
+            if self._dirty:
+                find = self._uf.find
+                groups: dict[str, list[str]] = {}
+                for root in self._dirty:
+                    groups.setdefault(find(root), []).append(root)
+                members = dict(members)
+                decl = base.decl_index
+                for rep, roots in groups.items():
+                    merged: list[VarInfo] = []
+                    for root in roots:
+                        merged.extend(base.members.get(root, ()))
+                    merged.sort(key=lambda info: decl[info.name])
+                    members[rep] = merged
+            self._members = members
+
         constraints: list[Formula] = []
-        for formula in rest + list(self._residual_units):
-            rewritten = self._rewrite_formula(formula)
+
+        def admit(rewritten: Formula) -> bool:
+            """Keep a rewritten constraint; decide it if variable-free.
+
+            Variable-free formulas would never be re-evaluated by the
+            watch scheme below, so they are decided now; ``False``
+            means the problem is UNSAT.
+            """
             if not formula_variables(rewritten, cache=memo):
-                # Variable-free after substitution: decide it now — it
-                # would never be re-evaluated by the watch scheme below.
-                if eval_formula(rewritten, {}) is not True:
-                    return preprocess_only()
-                continue
+                return eval_formula(rewritten, {}) is True
             constraints.append(rewritten)
+            return True
+
+        # ``fast`` marks a delta solve none of whose changed classes
+        # appear in any shared formula: the entire base prefix is
+        # admitted verbatim, so the skeleton's precompiled indexes
+        # (watch lists, variable sets, domain aggregate) apply as-is.
+        fast = False
+        if base is not None:
+            rewrite_cache = base.rewrite_cache
+            affected: set[int] | None = None
+            if memo and base.var_index is not None:
+                # The variables of a base-rewritten shared formula are
+                # base representatives; a delta changes the rewrite of
+                # such a formula only by merging or fixing one of those
+                # classes, and every such class root lands in _dirty or
+                # in the newly fixed keys.  The skeleton's inverted
+                # index turns that observation into an exact list of
+                # the shared formulas needing a re-rewrite.
+                changed = set(self._dirty)
+                base_fixed = base.fixed
+                for name in self._fixed:
+                    if name not in base_fixed:
+                        changed.add(name)
+                affected = set()
+                var_index = base.var_index
+                for name in changed:
+                    hits = var_index.get(name)
+                    if hits:
+                        affected.update(hits)
+            if affected is not None:
+                rest_t = base.rest
+                if affected:
+                    previous = 0
+                    for index in sorted(affected):
+                        constraints.extend(rest_t[previous:index])
+                        formula = rest_t[index]
+                        key = (index, self._delta_state_key(formula))
+                        rewritten = rewrite_cache.get(key)
+                        if rewritten is None:
+                            rewritten = self._rewrite_formula(formula)
+                            rewrite_cache[key] = rewritten
+                            base.rewrite_misses += 1
+                        else:
+                            base.rewrite_hits += 1
+                        if not admit(rewritten):
+                            return preprocess_only()
+                        previous = index + 1
+                    constraints.extend(rest_t[previous:])
+                else:
+                    constraints.extend(rest_t)
+                    fast = base.active is not None
+            else:
+                touched = self._touched
+                for index, formula in enumerate(base.rest):
+                    if (
+                        memo
+                        and touched is not None
+                        and not (formula_variables(formula) & touched)
+                    ):
+                        # Base-rewritten and untouched by this delta:
+                        # the skeleton's object (and its node memos)
+                        # is exact.
+                        constraints.append(formula)
+                        continue
+                    rewritten = None
+                    key = None
+                    if memo:
+                        key = (index, self._delta_state_key(formula))
+                        rewritten = rewrite_cache.get(key)
+                    if rewritten is None:
+                        rewritten = self._rewrite_formula(formula)
+                        if key is not None:
+                            rewrite_cache[key] = rewritten
+                            base.rewrite_misses += 1
+                    elif key is not None:
+                        base.rewrite_hits += 1
+                    if not admit(rewritten):
+                        return preprocess_only()
+        n_base = len(constraints)
+        for formula in rest + list(self._residual_units):
+            if not admit(self._rewrite_formula(formula)):
+                return preprocess_only()
 
         # Representatives that still need values.
         reps: set[str] = set()
-        if memo:
+        if base is not None:
+            # Start from the skeleton's live base classes and adjust
+            # only the partitions this delta merged or fixed.
+            find = self._uf.find
+            fixed = self._fixed
+            reps = set(base.reps)
+            for root in self._dirty:
+                reps.discard(root)
+                winner = find(root)
+                if winner not in fixed:
+                    reps.add(winner)
+            for rep in fixed:
+                reps.discard(rep)
+        elif memo:
             # Names the union-find has never seen are their own
             # representative; skipping find() keeps its parent map to the
             # merged variables only (which _touched_vars also iterates).
@@ -620,7 +867,14 @@ class GroundSearch:
                 rep = self._uf.find(name)
                 if rep not in self._fixed:
                     reps.add(rep)
-        for formula in constraints:
+        if fast:
+            # The admitted base prefix is base.rest verbatim, so the
+            # names it would contribute are the precompiled union.
+            reps |= base.var_names.difference(self._fixed)
+            tail = constraints[n_base:]
+        else:
+            tail = constraints
+        for formula in tail:
             for name in formula_variables(formula, cache=memo):
                 if name not in self._fixed:
                     reps.add(name)
@@ -628,10 +882,27 @@ class GroundSearch:
 
         # Index constraints first (domain construction can then treat
         # unconstrained representatives specially on the hot path).
-        watch: dict[str, list[int]] = {rep: [] for rep in rep_list}
-        active: list[Formula] = []
-        single: list[tuple[str, Formula]] = []
-        for formula in constraints:
+        if fast:
+            # Precompiled split of base.rest into multi-variable
+            # (active) and single-variable constraints; the watch lists
+            # restrict the per-name index to this solve's live
+            # representatives.  Sound because on the fast path no base
+            # formula mentions a merged or newly fixed class, so every
+            # base formula variable is still its own representative.
+            active = list(base.active)
+            single = list(base.single)
+            name_watch = base.name_watch
+            watch = {}
+            # Copy-on-append: most lists stay the skeleton's tuples;
+            # only reps watched by a delta formula get a private list.
+            for rep in rep_list:
+                watch[rep] = name_watch.get(rep, ())
+        else:
+            watch = {rep: [] for rep in rep_list}
+            active = []
+            single = []
+            tail = constraints
+        for formula in tail:
             if memo:
                 # Shared formulas (db constraints) index identically in
                 # every sibling solve; memoize the sorted variable list.
@@ -650,8 +921,13 @@ class GroundSearch:
             index = len(active)
             active.append(formula)
             for rep in variables:
-                if rep in watch:
-                    watch[rep].append(index)
+                entry = watch.get(rep)
+                if entry is None:
+                    continue
+                if type(entry) is tuple:
+                    entry = list(entry)
+                    watch[rep] = entry
+                entry.append(index)
 
         free_reps: set[str] | None = None
         if memo:
@@ -660,7 +936,22 @@ class GroundSearch:
             # domain need not be materialised beyond that.
             free_reps = {rep for rep in rep_list if not watch[rep]}
             free_reps.difference_update(rep for rep, _ in single)
-        domains = self._build_domains(rep_list, constraints, free_reps)
+        pref = pref_skip = None
+        if base is not None and memo and base.pref is not None:
+            pref = base.pref
+            # Classes this delta merged aggregate preferred values from
+            # several base classes; they fall back to the member scan.
+            pref_skip = {self._uf.find(root) for root in self._dirty}
+        domains = self._build_domains(
+            rep_list,
+            constraints,
+            free_reps,
+            base_agg=base.agg if fast else None,
+            skip=n_base if fast else 0,
+            pref=pref,
+            pref_skip=pref_skip,
+            dom_cache=base.domain_cache if pref is not None else None,
+        )
 
         for rep, formula in single:
             domains[rep] = [
@@ -782,9 +1073,16 @@ class GroundSearch:
             tail = [v for v in domain if v in avoided_set]
             return head + middle + tail
 
-        constraint_vars = [
-            frozenset(formula_variables(f, cache=memo)) for f in active
-        ]
+        if fast:
+            constraint_vars = list(base.cvars)
+            constraint_vars += [
+                frozenset(formula_variables(f, cache=memo))
+                for f in active[len(base.cvars):]
+            ]
+        else:
+            constraint_vars = [
+                frozenset(formula_variables(f, cache=memo)) for f in active
+            ]
         #: Depth at which each active constraint was proven True under the
         #: partial assignment (-1 = not yet).  Kleene evaluation is
         #: monotone, so a constraint marked at depth d needs no

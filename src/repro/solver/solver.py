@@ -52,6 +52,15 @@ class SolveStats:
     #: restarts in lazy mode.
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Wall-clock seconds the caller spent building/asserting this
+    #: solve's formulas (set by the generator; amortized per-group
+    #: share under delta solving — the skeleton compile is counted once
+    #: per query shape, on the miss, not per group member).
+    build_time: float = 0.0
+    #: Delta-solve provenance: ``"hit"``/``"miss"`` when this solve ran
+    #: against a compiled query skeleton (DESIGN.md §5j), ``None`` on
+    #: the full-compile path.
+    skeleton: str | None = None
 
 
 def unfold_formula(formula: Formula, cache: bool = True) -> Formula:
@@ -237,7 +246,7 @@ class Solver:
 
     # -- solving ---------------------------------------------------------------------
 
-    def solve(self, unfold: bool = True) -> Model | None:
+    def solve(self, unfold: bool = True, base=None) -> Model | None:
         """Search for a model; returns ``None`` when unsatisfiable.
 
         Args:
@@ -251,11 +260,18 @@ class Solver:
                 the quantified constraints against the candidate model,
                 assert the violated instances, and restart — reproducing
                 the paper's slow "without unfolding" configuration.
+            base: Optional compiled query skeleton
+                (:class:`repro.solver.skeleton.CompiledSkeleton`).  When
+                given, the asserted formulas are treated as a *delta* on
+                top of the skeleton's preprocessed shared system —
+                byte-identical to asserting the shared formulas after
+                the delta and solving from scratch.  Only meaningful
+                with ``unfold=True``.
         """
         from repro.errors import SolverLimitError
 
         try:
-            return self._solve(unfold)
+            return self._solve(unfold, base)
         except SolverLimitError as exc:
             # Record the effort spent before the budget tripped so a
             # caller that catches the overrun still gets statistics.
@@ -272,7 +288,7 @@ class Solver:
             )
             raise
 
-    def _solve(self, unfold: bool) -> Model | None:
+    def _solve(self, unfold: bool, base=None) -> Model | None:
         if unfold:
             memo = self.config.hot_path
             formulas = [unfold_formula(f, cache=memo) for f in self._formulas]
@@ -280,7 +296,7 @@ class Solver:
             # copy is only kept on the ablation path (seed behaviour).
             infos = self._infos if memo else dict(self._infos)
             outcome = GroundSearch(
-                formulas, infos, self.symbols, self.config
+                formulas, infos, self.symbols, self.config, base=base
             ).run()
             self.last_stats = SolveStats(
                 satisfiable=outcome.model is not None,

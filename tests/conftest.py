@@ -32,6 +32,17 @@ def uni_db(uni_schema):
     return university_sample_database(uni_schema)
 
 
+@pytest.fixture(scope="session")
+def table12_jobs():
+    """The full Table I/II workload as (schema, sql) jobs (see
+    tests/workload.py).  Session-scoped: schemas are immutable and the
+    job list is rebuilt nowhere else."""
+    from tests.workload import table12_jobs as build
+
+    jobs, _schema_count = build()
+    return jobs
+
+
 @pytest.fixture
 def tiny_schema():
     """Two tables, one FK: r(a PK, b) and s(a PK, r_a -> r.a)."""

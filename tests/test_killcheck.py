@@ -100,10 +100,10 @@ class TestRandomDatabase:
 class TestClassification:
     def test_equivalent_survivor_classified(self, uni_db):
         """With an FK, join -> right-outer at the FK side is equivalent."""
-        from repro.datasets import schema_with_fks
+        from tests.workload import INSTRUCTOR_TEACHES_JOIN, schema_teaches_fk
 
-        schema = schema_with_fks(["teaches.id"])
-        sql = "SELECT * FROM instructor i, teaches t WHERE i.id = t.id"
+        schema = schema_teaches_fk()
+        sql = INSTRUCTOR_TEACHES_JOIN
         suite = XDataGenerator(schema).generate(sql)
         space = enumerate_mutants(suite.analyzed)
         report = evaluate_suite(space, suite.databases)

@@ -186,6 +186,44 @@ class TestMetricsReconciliation:
         assert counters["xdata_specs_total"] == SPEC_COUNT
         assert "xdata_specs_errored_total 1" in render_text(suite.metrics)
 
+    def test_skeleton_counters_reconcile_with_health(self):
+        from repro.core.generator import clear_process_stores
+
+        clear_process_stores()
+        suite, _ = _generate(metrics=True)
+        counters = self._counters(suite)
+        stats = suite.health.skeleton_cache
+        lookups = stats["hits"] + stats["misses"]
+        assert lookups == SPEC_COUNT
+        assert stats["misses"] >= 1  # cold store: first shape compiles
+        for key in ("hits", "misses", "rewrite_hits", "rewrite_misses"):
+            assert (
+                counters.get(f"xdata_skeleton_cache_{key}_total", 0)
+                == stats[key]
+            )
+        # Stage attribution: skeleton compilation is preprocessing, not
+        # build time, and only miss solves pay it.
+        misses = [
+            d for d in suite.datasets
+            if d.stats and d.stats.skeleton == "miss"
+        ]
+        hits = [
+            d for d in suite.datasets
+            if d.stats and d.stats.skeleton == "hit"
+        ]
+        assert len(misses) == stats["misses"]
+        assert len(hits) == stats["hits"]
+        for dataset in misses:
+            assert dataset.stats.preprocess_time > 0.0
+        for dataset in suite.datasets:
+            assert dataset.stats.build_time >= 0.0
+
+    def test_delta_off_run_reports_no_skeleton_traffic(self):
+        suite, _ = _generate(metrics=True, delta_solve=False)
+        assert suite.health.skeleton_cache == {}
+        counters = self._counters(suite)
+        assert "xdata_skeleton_cache_hits_total" not in counters
+
     def test_registry_and_renderers(self):
         metrics = Metrics()
         metrics.inc("c")

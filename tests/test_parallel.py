@@ -20,28 +20,12 @@ from repro.core.parallel import (
     generate_suites_parallel,
     shutdown_pool,
 )
-from repro.datasets import UNIVERSITY_QUERIES, schema_with_fks
+from repro.datasets import UNIVERSITY_QUERIES
 from repro.schema.catalog import Column, Schema, Table
 from repro.schema.types import SqlType
+from tests.workload import schema_teaches_fk, suite_fingerprint, uni_query
 
-
-def _fingerprint(suite):
-    """Everything observable about a suite, in order, byte for byte."""
-    return (
-        suite.sql,
-        [
-            (
-                d.group,
-                d.target,
-                d.purpose,
-                d.relaxation,
-                d.used_input_db,
-                d.db.pretty(only_nonempty=False),
-            )
-            for d in suite.datasets
-        ],
-        [(s.group, s.target, s.reason) for s in suite.skipped],
-    )
+_fingerprint = suite_fingerprint
 
 
 def _pk_group_schema():
@@ -79,23 +63,19 @@ class TestSpecFanoutDeterminism:
 
     @pytest.mark.parametrize("name", ["Q2", "Q5", "Q7"])
     def test_suites_identical(self, name):
-        info = UNIVERSITY_QUERIES[name]
-        schema = schema_with_fks(info["fk_rows"][-1])
+        schema, sql = uni_query(name)
         sequential = XDataGenerator(schema, GenConfig(workers=1)).generate(
-            info["sql"]
+            sql
         )
         parallel = XDataGenerator(schema, GenConfig(workers=4)).generate(
-            info["sql"]
+            sql
         )
         assert _fingerprint(sequential) == _fingerprint(parallel)
 
     def test_skipped_groups_covered(self):
         """The comparison must include UNSAT/skipped groups, not just SAT."""
-        info = UNIVERSITY_QUERIES["Q5"]
-        schema = schema_with_fks(info["fk_rows"][-1])
-        suite = XDataGenerator(schema, GenConfig(workers=4)).generate(
-            info["sql"]
-        )
+        schema, sql = uni_query("Q5")
+        suite = XDataGenerator(schema, GenConfig(workers=4)).generate(sql)
         assert suite.skipped, "expected Q5 to produce skipped groups"
 
     def test_relaxation_path_identical(self):
@@ -112,16 +92,8 @@ class TestSpecFanoutDeterminism:
 class TestPooledBatchDeterminism:
     """generate_jobs_parallel with real worker processes (cap bypassed)."""
 
-    def test_university_workload_identical(self):
-        schema_cache = {}
-        jobs = []
-        for name, info in UNIVERSITY_QUERIES.items():
-            for fk_rows in info["fk_rows"]:
-                key = tuple(fk_rows)
-                if key not in schema_cache:
-                    schema_cache[key] = schema_with_fks(fk_rows)
-                jobs.append((schema_cache[key], info["sql"]))
-
+    def test_university_workload_identical(self, table12_jobs):
+        jobs = table12_jobs
         config = GenConfig()
         sequential = [
             XDataGenerator(schema, config).generate(sql)
@@ -138,7 +110,7 @@ class TestPooledBatchDeterminism:
         queries = {
             name: UNIVERSITY_QUERIES[name]["sql"] for name in ("Q1", "Q8")
         }
-        schema = schema_with_fks(["teaches.id"])
+        schema = schema_teaches_fk()
         config = GenConfig()
         pooled = generate_suites_parallel(
             schema, queries, config, 4, cap_to_cpus=False
@@ -153,7 +125,7 @@ class TestWorkloadEntryPoint:
     def test_generate_workload_workers_identical(self):
         from repro.testing.workload import generate_workload
 
-        schema = schema_with_fks(["teaches.id"])
+        schema = schema_teaches_fk()
         queries = {
             "q7": UNIVERSITY_QUERIES["Q7"]["sql"],
             "q8": UNIVERSITY_QUERIES["Q8"]["sql"],

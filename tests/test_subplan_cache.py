@@ -36,6 +36,7 @@ from repro.sql.ast import (
 )
 from repro.sql.parser import parse_query
 from repro.testing.killcheck import KillCheckConfig, evaluate_suite
+from tests.workload import KILLCHECK_CORPUS
 
 
 def star(binding: str = "r") -> tuple[SelectItem, ...]:
@@ -192,26 +193,10 @@ class TestDatasetIsolation:
         assert 0.0 <= stats["hit_rate"] <= 1.0
 
 
-CORPUS = [
-    "SELECT * FROM instructor i, teaches t WHERE i.id = t.id",
-    (
-        "SELECT i.name FROM instructor i LEFT OUTER JOIN teaches t "
-        "ON i.id = t.id WHERE i.salary > 70000"
-    ),
-    (
-        "SELECT * FROM instructor i JOIN teaches t ON i.id = t.id "
-        "JOIN course c ON t.course_id = c.course_id"
-    ),
-    (
-        "SELECT t.course_id, COUNT(*), AVG(i.salary) FROM instructor i, "
-        "teaches t WHERE i.id = t.id GROUP BY t.course_id "
-        "HAVING COUNT(*) > 1"
-    ),
-]
-
-
 class TestCachedUncachedEquivalence:
-    @pytest.mark.parametrize("sql", CORPUS, ids=range(len(CORPUS)))
+    @pytest.mark.parametrize(
+        "sql", KILLCHECK_CORPUS, ids=range(len(KILLCHECK_CORPUS))
+    )
     def test_kill_matrix_identical(self, uni_schema_nofk, uni_db, sql):
         """The §5g acceptance bar: cached and uncached evaluation agree
         on every (mutant, dataset) verdict, not just aggregate counts."""
